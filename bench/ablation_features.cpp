@@ -1,0 +1,120 @@
+// Ablation: feature-set size. The paper notes a small event set is forced
+// by PMU register limits and lists studying "how the effectiveness depends
+// on the number and types of performance events" as future work — this
+// bench does that study: CV accuracy using only the top-k features by
+// information gain, and with the tree's own selected features removed.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "ml/c45.hpp"
+#include "ml/eval.hpp"
+#include "pmu/events.hpp"
+
+using namespace fsml;
+
+namespace {
+
+/// Projects a dataset onto a subset of attribute indices.
+ml::Dataset project(const ml::Dataset& data,
+                    const std::vector<std::size_t>& attrs) {
+  std::vector<std::string> names;
+  for (const std::size_t a : attrs) names.push_back(data.attribute_names()[a]);
+  ml::Dataset out(names, data.class_names());
+  for (const ml::Instance& inst : data.instances()) {
+    std::vector<double> x;
+    for (const std::size_t a : attrs) x.push_back(inst.x[a]);
+    out.add(std::move(x), inst.y);
+  }
+  return out;
+}
+
+double cv_accuracy(const ml::Dataset& data, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return ml::cross_validate(ml::C45Tree(), data, 10, rng).accuracy;
+}
+
+/// Information gain of a single attribute's best binary split.
+double attribute_gain(const ml::Dataset& data, std::size_t attr) {
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return data.at(i).x[attr] < data.at(j).x[attr];
+  });
+  std::vector<double> total(data.num_classes(), 0.0);
+  for (const auto& inst : data.instances())
+    total[static_cast<std::size_t>(inst.y)] += 1.0;
+  const double h = ml::entropy(total);
+  std::vector<double> left(data.num_classes(), 0.0);
+  std::vector<double> right = total;
+  double best = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+    const auto& cur = data.at(order[pos]);
+    left[static_cast<std::size_t>(cur.y)] += 1.0;
+    right[static_cast<std::size_t>(cur.y)] -= 1.0;
+    if (cur.x[attr] == data.at(order[pos + 1]).x[attr]) continue;
+    const double pl = static_cast<double>(pos + 1) / n;
+    best = std::max(best, h - pl * ml::entropy(left) -
+                              (1 - pl) * ml::entropy(right));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("cv-seed", 7));
+  const core::TrainingData data = bench::training_data(cli);
+  const ml::Dataset dataset = data.to_dataset();
+
+  // Rank the 15 features by standalone information gain.
+  std::vector<std::size_t> ranked(dataset.num_attributes());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::vector<double> gains(dataset.num_attributes());
+  for (std::size_t a = 0; a < dataset.num_attributes(); ++a)
+    gains[a] = attribute_gain(dataset, a);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](std::size_t a, std::size_t b) { return gains[a] > gains[b]; });
+
+  std::printf("Feature ranking by single-split information gain:\n");
+  for (const std::size_t a : ranked)
+    std::printf("  %5.3f bits  ev%02zu %s\n", gains[a], a + 1,
+                std::string(pmu::event_info(static_cast<pmu::WestmereEvent>(a))
+                                .name)
+                    .c_str());
+
+  std::printf("\nAblation: 10-fold CV accuracy vs feature-set size\n\n");
+  util::Table table({"Feature set", "k", "accuracy"});
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 15u}) {
+    std::vector<std::size_t> top(ranked.begin(),
+                                 ranked.begin() + static_cast<long>(k));
+    const double acc = cv_accuracy(project(dataset, top), seed);
+    table.add_row({"top-k by gain", std::to_string(k),
+                   util::fixed(100.0 * acc, 2) + "%"});
+  }
+
+  // Drop the tree's chosen features: how much redundancy does the set hold?
+  ml::C45Tree full_tree;
+  full_tree.train(dataset);
+  const auto used = full_tree.used_attributes();
+  std::vector<std::size_t> rest;
+  for (std::size_t a = 0; a < dataset.num_attributes(); ++a)
+    if (std::find(used.begin(), used.end(), a) == used.end())
+      rest.push_back(a);
+  table.add_row({"without tree-selected events",
+                 std::to_string(rest.size()),
+                 util::fixed(100.0 * cv_accuracy(project(dataset, rest), seed),
+                             2) +
+                     "%"});
+  table.render(std::cout);
+  std::printf(
+      "\nExpected: accuracy saturates with very few events (the tree itself "
+      "uses ~4),\nand stays high even without them — the event set is "
+      "highly redundant.\n");
+  return 0;
+}

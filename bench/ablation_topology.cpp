@@ -1,0 +1,90 @@
+// Ablation: socket topology. The paper's X5690 testbed is really 2 sockets
+// x 6 cores with one L3 per socket and QPI between them; the reproduction's
+// default models it as a single 12-core socket. This bench quantifies what
+// the simplification changes: false-sharing signatures and costs on 1x12 vs
+// 2x6, and whether the single-socket-trained classifier still separates the
+// workloads on the dual-socket machine.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trainers/trainer.hpp"
+
+using namespace fsml;
+
+namespace {
+
+struct Signature {
+  double seconds;
+  double hitm_rate;
+  double qpi_rate;
+  trainers::Mode verdict;
+};
+
+Signature run_on(const sim::MachineConfig& cfg, const char* program,
+                 trainers::Mode mode, std::uint32_t threads,
+                 const core::FalseSharingDetector& detector) {
+  trainers::TrainerParams params;
+  params.mode = mode;
+  params.threads = threads;
+  params.size = 32768;
+  params.seed = 11;
+  const auto run =
+      trainers::run_trainer(trainers::find_program(program), params, cfg);
+  const double instr = static_cast<double>(run.snapshot.instructions());
+  return {run.result.seconds,
+          run.features.get(pmu::WestmereEvent::kSnoopResponseHitM),
+          static_cast<double>(
+              run.raw.get(sim::RawEvent::kCrossSocketTransfers)) /
+              instr,
+          detector.classify(run.features)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const core::TrainingData data = bench::training_data(cli);
+  const core::FalseSharingDetector detector = bench::trained_detector(data);
+
+  const sim::MachineConfig one = sim::MachineConfig::westmere_dp(12);
+  const sim::MachineConfig two = sim::MachineConfig::westmere_dp_2s();
+
+  std::printf(
+      "Ablation: 1x12 (modelled default) vs 2x6 (the real X5690 topology)\n"
+      "Classifier trained on the 1x12 machine in both columns.\n\n");
+
+  util::Table table({"program", "mode", "T", "1x12 time", "2x6 time",
+                     "2x6 HITM/instr", "QPI/instr", "verdict 1x12",
+                     "verdict 2x6"});
+  for (std::size_t c = 3; c <= 6; ++c) table.set_align(c, util::Align::kRight);
+
+  const struct {
+    const char* program;
+    trainers::Mode mode;
+  } cases[] = {
+      {"pdot", trainers::Mode::kGood},
+      {"pdot", trainers::Mode::kBadFs},
+      {"psums", trainers::Mode::kBadFs},
+      {"pdot", trainers::Mode::kBadMa},
+  };
+  for (const auto& c : cases) {
+    for (const std::uint32_t t : {6u, 12u}) {
+      const Signature a = run_on(one, c.program, c.mode, t, detector);
+      const Signature b = run_on(two, c.program, c.mode, t, detector);
+      table.add_row({c.program, std::string(trainers::to_string(c.mode)),
+                     std::to_string(t), util::auto_time(a.seconds),
+                     util::auto_time(b.seconds), util::sci(b.hitm_rate, 2),
+                     util::sci(b.qpi_rate, 2),
+                     std::string(trainers::to_string(a.verdict)),
+                     std::string(trainers::to_string(b.verdict))});
+    }
+  }
+  table.render(std::cout);
+  std::printf(
+      "\nExpected: bad-fs runs are slower on 2x6 (half the HITM transfers "
+      "ride QPI at T=12),\nbut the classifier verdicts are unchanged — the "
+      "normalized HITM signature survives the\ntopology, which is why the "
+      "single-socket simplification does not affect the paper's\n"
+      "reproduction.\n");
+  return 0;
+}

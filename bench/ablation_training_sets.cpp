@@ -1,0 +1,103 @@
+// Ablation: training-set composition. The paper reports that adding the
+// sequential Part-B programs "indeed improved the classification accuracy"
+// and lists varying the number/types of mini-programs as future work.
+// This bench measures:
+//   * Part A only vs Part A+B (the paper's claim);
+//   * dropping each multi-threaded mini-program family;
+//   * generalisation: train on a subset of programs, test on the held-out
+//     programs' instances (a harder test than CV).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/eval.hpp"
+
+using namespace fsml;
+
+namespace {
+
+ml::Dataset filter_to(const core::TrainingData& data,
+                      const std::vector<std::string>& exclude_programs,
+                      bool include_part_b) {
+  ml::Dataset out(pmu::FeatureVector::feature_names(), core::class_names());
+  for (const core::LabeledInstance& inst : data.instances) {
+    if (!include_part_b && !inst.part_a) continue;
+    bool excluded = false;
+    for (const auto& p : exclude_programs)
+      if (inst.program == p) excluded = true;
+    if (excluded) continue;
+    std::vector<double> x(inst.features.values().begin(),
+                          inst.features.values().end());
+    out.add(std::move(x), inst.label);
+  }
+  return out;
+}
+
+ml::Dataset only_programs(const core::TrainingData& data,
+                          const std::vector<std::string>& programs) {
+  ml::Dataset out(pmu::FeatureVector::feature_names(), core::class_names());
+  for (const core::LabeledInstance& inst : data.instances) {
+    bool included = false;
+    for (const auto& p : programs)
+      if (inst.program == p) included = true;
+    if (!included) continue;
+    std::vector<double> x(inst.features.values().begin(),
+                          inst.features.values().end());
+    out.add(std::move(x), inst.label);
+  }
+  return out;
+}
+
+double cv_acc(const ml::Dataset& d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return ml::cross_validate(ml::C45Tree(), d, 10, rng).accuracy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("cv-seed", 7));
+  const core::TrainingData data = bench::training_data(cli);
+
+  std::printf("Ablation: training-set composition (10-fold CV accuracy)\n\n");
+  util::Table table({"Training set", "instances", "accuracy"});
+  table.set_align(1, util::Align::kRight);
+  table.set_align(2, util::Align::kRight);
+
+  const auto add = [&](const std::string& label, const ml::Dataset& d) {
+    table.add_row({label, std::to_string(d.size()),
+                   util::fixed(100.0 * cv_acc(d, seed), 2) + "%"});
+  };
+  add("Part A + B (full, the paper's set)", filter_to(data, {}, true));
+  add("Part A only (no sequential programs)", filter_to(data, {}, false));
+  add("without scalar programs",
+      filter_to(data, {"psums", "padding", "false1"}, true));
+  add("without vector programs",
+      filter_to(data, {"psumv", "pdot", "count"}, true));
+  add("without matrix programs",
+      filter_to(data, {"pmatmult", "pmatcompare"}, true));
+  table.render(std::cout);
+
+  // Cross-program generalisation: hold out entire programs.
+  std::printf(
+      "\nGeneralisation: train on some mini-programs, test on instances of "
+      "programs never seen in training\n\n");
+  util::Table gen({"Held-out programs", "test instances", "accuracy"});
+  gen.set_align(1, util::Align::kRight);
+  gen.set_align(2, util::Align::kRight);
+  const std::vector<std::vector<std::string>> holdouts = {
+      {"pdot"}, {"pmatmult"}, {"psums", "count"}, {"seq_rmw", "pmatcompare"}};
+  for (const auto& held : holdouts) {
+    const ml::Dataset train = filter_to(data, held, true);
+    const ml::Dataset test = only_programs(data, held);
+    ml::C45Tree tree;
+    tree.train(train);
+    const auto cm = ml::evaluate_on(tree, test);
+    std::string label;
+    for (const auto& p : held) label += (label.empty() ? "" : ", ") + p;
+    gen.add_row({label, std::to_string(test.size()),
+                 util::fixed(100.0 * cm.accuracy(), 2) + "%"});
+  }
+  gen.render(std::cout);
+  return 0;
+}

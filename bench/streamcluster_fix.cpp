@@ -1,0 +1,53 @@
+// The §4.3 CACHE_LINE experiment: the streamcluster source defines
+// CACHE_LINE=32; the suggested fix sets it to 64 so per-thread cost slots
+// no longer share machine lines. The paper found the fix removes *most*
+// false sharing but a residual site remains detectable for simsmall/T=8 —
+// both by their classifier and by the ground-truth tool.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workloads/streamcluster.hpp"
+
+using namespace fsml;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const core::TrainingData data = bench::training_data(cli);
+  const core::FalseSharingDetector detector = bench::trained_detector(data);
+  const auto machine = sim::MachineConfig::westmere_dp(12);
+
+  std::printf(
+      "streamcluster CACHE_LINE experiment (paper §4.3): classification and "
+      "ground-truth rate\nwith the shipped padding (32) vs the suggested fix "
+      "(64)\n\n");
+
+  util::Table table({"Input", "T", "pad=32 class", "pad=32 rate",
+                     "pad=64 class", "pad=64 rate"});
+  const workloads::StreamclusterWorkload buggy(32);
+  const workloads::StreamclusterWorkload fixed(64);
+
+  for (const std::string& input :
+       {std::string("simsmall"), std::string("simmedium"),
+        std::string("simlarge")}) {
+    for (const std::uint32_t t : {4u, 8u}) {
+      const workloads::WorkloadCase wcase{input, workloads::OptLevel::kO2, t,
+                                          seed};
+      const bench::VerifiedCase b =
+          bench::run_verified(buggy, wcase, detector, machine);
+      const bench::VerifiedCase f =
+          bench::run_verified(fixed, wcase, detector, machine);
+      table.add_row({input, std::to_string(t),
+                     std::string(trainers::to_string(b.detected)),
+                     util::sci(b.fs_rate, 2) + (b.actual_fs ? " >thr" : ""),
+                     std::string(trainers::to_string(f.detected)),
+                     util::sci(f.fs_rate, 2) + (f.actual_fs ? " >thr" : "")});
+    }
+  }
+  table.render(std::cout);
+  std::printf(
+      "\nPaper: after the CACHE_LINE=64 fix, false sharing was *still* "
+      "detected for the\nsimsmall input at T=8 (a second, unpadded shared "
+      "structure), verified by the\nground-truth tool.\n");
+  return 0;
+}

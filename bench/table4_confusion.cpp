@@ -1,0 +1,34 @@
+// Table 4: confusion matrix of stratified 10-fold cross-validation on the
+// training data (paper: 875/880 = 99.4% overall success).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/eval.hpp"
+
+using namespace fsml;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto folds = static_cast<std::size_t>(cli.get_int("folds", 10));
+  const core::TrainingData data = bench::training_data(cli);
+  const ml::Dataset dataset = data.to_dataset();
+
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("cv-seed", 7)));
+  const ml::CrossValidationResult cv =
+      ml::cross_validate(ml::C45Tree(), dataset, folds, rng);
+
+  std::printf("Table 4: stratified %zu-fold cross-validation confusion "
+              "matrix (%zu instances)\n\n",
+              folds, dataset.size());
+  std::printf("%s\n", cv.confusion.to_string().c_str());
+  std::printf("Overall success rate: %llu/%llu = %.2f%%  (paper: 875/880 = "
+              "99.4%%)\n",
+              static_cast<unsigned long long>(cv.confusion.correct()),
+              static_cast<unsigned long long>(cv.confusion.total()),
+              100.0 * cv.accuracy);
+  std::printf("Per-fold accuracy:");
+  for (const double acc : cv.fold_accuracy) std::printf(" %.3f", acc);
+  std::printf("\nbad-fs false-positive rate: %.4f\n",
+              cv.confusion.false_positive_rate(core::kBadFs));
+  return 0;
+}

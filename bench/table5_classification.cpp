@@ -1,0 +1,87 @@
+// Table 5: overall (majority) classification of every Phoenix and PARSEC
+// benchmark program across all its cases (inputs x optimization levels x
+// thread counts).
+//
+// Paper: linear_regression bad-fs (24/36 cases), matrix_multiply bad-ma
+// (100%), streamcluster bad-fs (15/36 plurality); everything else good.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fsml;
+
+namespace {
+
+struct ProgramResult {
+  std::string name;
+  workloads::Suite suite;
+  trainers::Mode overall;
+  int good = 0, bad_fs = 0, bad_ma = 0;
+};
+
+ProgramResult classify_program(const workloads::Workload& w,
+                               const core::FalseSharingDetector& detector,
+                               const sim::MachineConfig& machine,
+                               std::uint64_t seed) {
+  ProgramResult result;
+  result.name = std::string(w.name());
+  result.suite = w.suite();
+  std::vector<trainers::Mode> verdicts;
+  const std::vector<std::uint32_t> threads =
+      w.suite() == workloads::Suite::kPhoenix
+          ? std::vector<std::uint32_t>{3, 6, 9, 12}
+          : std::vector<std::uint32_t>{4, 8, 12};
+  for (const std::string& input : w.input_sets()) {
+    for (const workloads::OptLevel opt : w.opt_levels()) {
+      for (const std::uint32_t t : threads) {
+        const workloads::WorkloadCase wcase{input, opt, t, seed};
+        const workloads::WorkloadRun run = run_workload(w, wcase, machine);
+        const trainers::Mode v = detector.classify(run.features);
+        verdicts.push_back(v);
+        if (v == trainers::Mode::kGood) ++result.good;
+        else if (v == trainers::Mode::kBadFs) ++result.bad_fs;
+        else ++result.bad_ma;
+      }
+    }
+  }
+  result.overall = core::FalseSharingDetector::majority(verdicts);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const core::TrainingData data = bench::training_data(cli);
+  const core::FalseSharingDetector detector = bench::trained_detector(data);
+  const auto machine = sim::MachineConfig::westmere_dp(12);
+
+  std::printf("Table 5: classification results for benchmark programs\n\n");
+  util::Table table(
+      {"Suite", "Program", "Class", "cases good/bad-fs/bad-ma", "Paper"});
+
+  const auto paper_class = [](const std::string& name) -> const char* {
+    if (name == "linear_regression" || name == "streamcluster")
+      return "bad-fs";
+    if (name == "matrix_multiply") return "bad-ma";
+    return "good";
+  };
+
+  bool all_match = true;
+  for (const workloads::Workload* w : workloads::all_workloads()) {
+    const ProgramResult r = classify_program(*w, detector, machine, seed);
+    const std::string ours = std::string(trainers::to_string(r.overall));
+    const std::string paper = paper_class(r.name);
+    if (ours != paper) all_match = false;
+    table.add_row({std::string(to_string(r.suite)), r.name, ours,
+                   std::to_string(r.good) + "/" + std::to_string(r.bad_fs) +
+                       "/" + std::to_string(r.bad_ma),
+                   paper + std::string(ours == paper ? "  ok" : "  MISMATCH")});
+    std::fprintf(stderr, "classified %s\n", r.name.c_str());
+  }
+  table.render(std::cout);
+  std::printf("\nAll overall classifications match the paper: %s\n",
+              all_match ? "yes" : "NO");
+  return all_match ? 0 : 1;
+}

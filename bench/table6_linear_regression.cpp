@@ -1,0 +1,61 @@
+// Table 6: execution time and classification of linear_regression for
+// every (input, optimization level, thread count) case.
+//
+// Expected shape (paper): at -O0/-O1 the multi-threaded runs are *slower*
+// than the sequential one and classify bad-fs; -O2 resolves the false
+// sharing (register promotion) — times collapse and the classification
+// turns good.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fsml;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const core::TrainingData data = bench::training_data(cli);
+  const core::FalseSharingDetector detector = bench::trained_detector(data);
+  const auto machine = sim::MachineConfig::westmere_dp(12);
+  const auto& w = workloads::find_workload("linear_regression");
+
+  std::printf(
+      "Table 6: execution time and classification for linear_regression\n"
+      "(cells: time, *FS = classified bad-fs, ~MA = bad-ma)\n\n");
+
+  util::Table table({"Input", "Flag", "Seq (T=1)", "T=3", "T=6", "T=9",
+                     "T=12"});
+  for (std::size_t c = 2; c <= 6; ++c) table.set_align(c, util::Align::kRight);
+
+  for (const std::string& input : w.input_sets()) {
+    bool first = true;
+    for (const workloads::OptLevel opt :
+         {workloads::OptLevel::kO0, workloads::OptLevel::kO1,
+          workloads::OptLevel::kO2}) {
+      if (first) table.add_separator();
+      std::vector<std::string> cells = {first ? input : "",
+                                        std::string(to_string(opt))};
+      first = false;
+      for (const std::uint32_t t : {1u, 3u, 6u, 9u, 12u}) {
+        const workloads::WorkloadCase wcase{input, opt, t, seed};
+        const workloads::WorkloadRun run = run_workload(w, wcase, machine);
+        // The sequential column is a timing reference, not a classified
+        // case (single-threaded runs cannot false-share).
+        if (t == 1) {
+          cells.push_back(util::auto_time(run.seconds));
+        } else {
+          cells.push_back(
+              bench::time_cell(run.seconds, detector.classify(run.features)));
+        }
+      }
+      table.add_row(std::move(cells));
+    }
+  }
+  table.render(std::cout);
+
+  std::printf(
+      "\nPaper (Table 6) shape: -O0/-O1 rows are bad-fs with parallel times "
+      "above the\nsequential time; -O2 rows are good with parallel times far "
+      "below it.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 7: ground-truth false-sharing rates (the Zhao et al. shadow
+// detector, rate = FS misses / instructions) for linear_regression at
+// T=3 and T=6, alongside our classification of the same runs.
+//
+// Expected shape (paper): bad-fs cases have rates 15-25x higher than the
+// -O2 "good" cases, but even the good cases stay (slightly) above the 1e-3
+// threshold — residual false sharing survives the compiler fix.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace fsml;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const core::TrainingData data = bench::training_data(cli);
+  const core::FalseSharingDetector detector = bench::trained_detector(data);
+  const auto machine = sim::MachineConfig::westmere_dp(12);
+  const auto& w = workloads::find_workload("linear_regression");
+
+  std::printf(
+      "Table 7: false-sharing rates [Zhao et al.] and our classifications "
+      "for linear_regression\n(rate > 1e-3 means false sharing per the "
+      "ground-truth criterion)\n\n");
+
+  util::Table table({"Input", "Flag", "rate T=3", "class T=3", "rate T=6",
+                     "class T=6"});
+  for (const std::string& input : w.input_sets()) {
+    bool first = true;
+    for (const workloads::OptLevel opt :
+         {workloads::OptLevel::kO0, workloads::OptLevel::kO1,
+          workloads::OptLevel::kO2}) {
+      if (first) table.add_separator();
+      std::vector<std::string> cells = {first ? input : "",
+                                        std::string(to_string(opt))};
+      first = false;
+      for (const std::uint32_t t : {3u, 6u}) {
+        const workloads::WorkloadCase wcase{input, opt, t, seed};
+        const bench::VerifiedCase v =
+            bench::run_verified(w, wcase, detector, machine);
+        cells.push_back(util::sci(v.fs_rate, 3) +
+                        (v.actual_fs ? " >thr" : ""));
+        cells.push_back(std::string(trainers::to_string(v.detected)));
+      }
+      table.add_row(std::move(cells));
+    }
+  }
+  table.render(std::cout);
+
+  std::printf(
+      "\nPaper (Table 7): -O0/-O1 rates 0.022-0.035 (bad-fs), -O2 rates "
+      "~0.00145 — above 1e-3\nbut an order of magnitude below the bad "
+      "cases, classified good.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Side-by-side comparison of the three detection approaches the paper
+// discusses, on the same program:
+//   * ours  — performance-event counts + trained classifier (passive);
+//   * Zhao et al. [33] — shadow-memory contention tracking (the ground
+//     truth; 8-thread limit, heavy);
+//   * SHERIFF-style [21] — per-epoch write diffing (write-only view).
+//
+// The program is the linear_regression proxy at -O0 (dense false sharing)
+// and at -O2 (residual only), which is where the three tools' sensitivity
+// differences show.
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/epoch_detector.hpp"
+#include "baseline/shadow_detector.hpp"
+#include "core/detector.hpp"
+#include "core/training.hpp"
+#include "workloads/workload.hpp"
+
+using namespace fsml;
+
+namespace {
+
+void compare(const core::FalseSharingDetector& detector,
+             workloads::OptLevel opt) {
+  const auto& w = workloads::find_workload("linear_regression");
+  const workloads::WorkloadCase wcase{"100MB", opt, 6, 11};
+  const auto machine = sim::MachineConfig::westmere_dp(12);
+
+  baseline::ShadowDetector shadow(wcase.threads);
+  baseline::EpochDetector epochs(wcase.threads);
+  sim::MachineConfig config = machine;
+  config.num_cores = wcase.threads;
+  exec::Machine m(config, wcase.seed);
+  m.memory().add_observer(&shadow);
+  m.memory().add_observer(&epochs);
+  w.build(m, wcase);
+  const exec::RunResult result = m.run();
+  const auto features = pmu::FeatureVector::normalize(
+      pmu::CounterSnapshot::from_raw(result.aggregate));
+
+  const baseline::SharingReport zhao = shadow.report();
+  const baseline::SharingReport sheriff = epochs.report();
+
+  std::printf("linear_regression %s, T=6:\n",
+              std::string(to_string(opt)).c_str());
+  std::printf("  ours (classifier)     : %s\n",
+              std::string(trainers::to_string(detector.classify(features)))
+                  .c_str());
+  std::printf("  Zhao-style shadowing  : rate %.2e -> %s  (TS misses %llu, "
+              "FS misses %llu)\n",
+              zhao.false_sharing_rate(),
+              zhao.has_false_sharing() ? "false sharing" : "clean",
+              static_cast<unsigned long long>(zhao.true_sharing_misses),
+              static_cast<unsigned long long>(zhao.false_sharing_misses));
+  std::printf("  SHERIFF-style epochs  : rate %.2e -> %s  (%llu epochs)\n",
+              sheriff.false_sharing_rate(),
+              sheriff.has_false_sharing() ? "false sharing" : "clean",
+              static_cast<unsigned long long>(
+                  static_cast<const baseline::EpochDetector&>(epochs)
+                      .epochs_committed()));
+  if (!zhao.top_lines.empty() &&
+      zhao.top_lines.front().false_sharing_events > 0) {
+    const auto& top = zhao.top_lines.front();
+    std::printf("  worst line 0x%llx: %llu FS misses, writer mask 0x%02x\n",
+                static_cast<unsigned long long>(top.line),
+                static_cast<unsigned long long>(top.false_sharing_events),
+                top.writer_mask);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  const core::TrainingData data =
+      core::collect_or_load(config, "quickstart_training.csv", &std::cerr);
+  core::FalseSharingDetector detector;
+  detector.train(data);
+
+  compare(detector, workloads::OptLevel::kO0);
+  compare(detector, workloads::OptLevel::kO2);
+
+  std::printf(
+      "At -O0 all three agree. At -O2 only the byte-precise shadow tool "
+      "still sees the\nresidual sharing above its threshold — the paper's "
+      "Table 7 disagreement, and the\nsource of its 7 false negatives in "
+      "Table 11.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Scenario: a work-stealing style task system with a subtle false-sharing
+// bug in its *statistics* block — the kind of bug the paper's intro
+// motivates: two logically independent per-thread fields that only interact
+// through the accident of data layout.
+//
+// Each worker pops *batches* of task indices from a shared queue head
+// (true sharing — unavoidable, and kept cheap by batching; a per-task pop
+// would be a genuine scalability bug that the HITM signature also flags),
+// processes each task (streaming reads + compute), and bumps its
+// tasks-completed counter. The counters
+// live in a `WorkerStats` array whose entries are 16 bytes: four workers
+// per cache line.
+//
+// The demo classifies the buggy binary, then the repaired one (stats padded
+// to a line), and also prints the worst-contended lines from the
+// shadow-memory ground-truth detector — the "which line is it?"
+// fine-granularity view.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/shadow_detector.hpp"
+#include "core/detector.hpp"
+#include "core/training.hpp"
+#include "exec/machine.hpp"
+#include "exec/sync.hpp"
+#include "pmu/counters.hpp"
+
+using namespace fsml;
+
+namespace {
+
+struct RunOutcome {
+  trainers::Mode verdict;
+  double seconds;
+  baseline::SharingReport ground_truth;
+};
+
+RunOutcome run_work_queue(const core::FalseSharingDetector& detector,
+                          std::uint32_t stats_stride) {
+  constexpr std::uint32_t kWorkers = 8;
+  constexpr std::uint64_t kTasks = 4096;
+  constexpr std::uint64_t kBatch = 32;     // tasks claimed per queue pop
+  constexpr std::uint64_t kTaskWork = 24;  // elements scanned per task
+
+  exec::Machine machine(sim::MachineConfig::westmere_dp(kWorkers), 99);
+  baseline::ShadowDetector shadow(kWorkers);
+  machine.memory().add_observer(&shadow);
+
+  const sim::Addr task_data =
+      machine.arena().alloc_page_aligned(kTasks * kTaskWork * 8);
+  // The bug: WorkerStats entries are `stats_stride` bytes apart.
+  const sim::Addr stats =
+      machine.arena().alloc_line_aligned(std::uint64_t{stats_stride} *
+                                         kWorkers);
+  auto queue_head = std::make_shared<exec::AtomicU64>(machine.arena());
+
+  for (std::uint32_t t = 0; t < kWorkers; ++t) {
+    const sim::Addr my_stats = stats + std::uint64_t{stats_stride} * t;
+    machine.spawn([=](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (;;) {
+        const std::uint64_t first =
+            co_await queue_head->fetch_add(ctx, kBatch);
+        if (first >= kTasks) break;
+        const std::uint64_t last = std::min(first + kBatch, kTasks);
+        for (std::uint64_t task = first; task < last; ++task) {
+          const sim::Addr base = task_data + task * kTaskWork * 8;
+          for (std::uint64_t i = 0; i < kTaskWork; ++i) {
+            co_await ctx.load(base + i * 8);
+            ctx.compute(3);
+          }
+          co_await ctx.rmw(my_stats);      // stats[me].tasks_completed++
+          co_await ctx.rmw(my_stats + 8);  // stats[me].elements_scanned +=
+        }
+      }
+    });
+  }
+
+  const exec::RunResult result = machine.run();
+  const auto features = pmu::FeatureVector::normalize(
+      pmu::CounterSnapshot::from_raw(result.aggregate));
+  return {detector.classify(features), result.seconds, shadow.report()};
+}
+
+void report(const char* label, const RunOutcome& run) {
+  std::printf("%s\n", label);
+  std::printf("  classifier verdict : %s\n",
+              std::string(trainers::to_string(run.verdict)).c_str());
+  std::printf("  simulated time     : %.0f us\n", run.seconds * 1e6);
+  std::printf("  ground-truth rate  : %.2e (%s)\n",
+              run.ground_truth.false_sharing_rate(),
+              run.ground_truth.has_false_sharing() ? "false sharing"
+                                                   : "clean");
+  if (!run.ground_truth.top_lines.empty()) {
+    std::printf("  worst lines:\n");
+    for (const baseline::LineStat& line : run.ground_truth.top_lines) {
+      if (line.false_sharing_events == 0) continue;
+      std::printf("    line 0x%llx: %llu false-sharing misses, writers mask "
+                  "0x%02x\n",
+                  static_cast<unsigned long long>(line.line),
+                  static_cast<unsigned long long>(line.false_sharing_events),
+                  line.writer_mask);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  const core::TrainingData data =
+      core::collect_or_load(config, "quickstart_training.csv", &std::cerr);
+  core::FalseSharingDetector detector;
+  detector.train(data);
+
+  report("Work queue with 16-byte WorkerStats entries (4 workers per line):",
+         run_work_queue(detector, 16));
+  report("Work queue with line-padded WorkerStats entries:",
+         run_work_queue(detector, 64));
+
+  std::printf(
+      "Note the batched queue head is *true* sharing: the ground-truth "
+      "tool\nclassifies its misses separately, and at batch granularity the "
+      "classifier\ndoes not flag it either.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: train a false-sharing detector and use it on your own kernel.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the full pipeline in under a minute:
+//   1. collect training data from the mini-program suites (reduced grid);
+//   2. train the J48/C4.5 classifier;
+//   3. write a small simulated parallel program *with* a false-sharing bug,
+//      run it, and classify its performance-event counts;
+//   4. fix the bug by padding and show the verdict change.
+#include <cstdio>
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "core/training.hpp"
+#include "exec/machine.hpp"
+#include "pmu/counters.hpp"
+
+using namespace fsml;
+
+namespace {
+
+/// A user program: each thread counts odd elements in its slice, keeping
+/// the counter in a shared results array. `padded` decides whether each
+/// counter gets its own cache line.
+trainers::Mode run_and_classify(const core::FalseSharingDetector& detector,
+                                bool padded) {
+  exec::Machine machine(sim::MachineConfig::westmere_dp(8), /*seed=*/123);
+  constexpr std::uint64_t kN = 65536;
+  constexpr std::uint32_t kThreads = 8;
+  const sim::Addr data = machine.arena().alloc_page_aligned(kN * 8);
+
+  std::vector<sim::Addr> counters;
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    counters.push_back(padded ? machine.arena().alloc_line_aligned(8)
+                              : machine.arena().alloc(8, 8));
+
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    const std::uint64_t begin = kN / kThreads * t;
+    const std::uint64_t end = begin + kN / kThreads;
+    const sim::Addr counter = counters[t];
+    machine.spawn([=](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        co_await ctx.load(data + i * 8);
+        ctx.compute(2);                 // check parity
+        if (i % 2 == 1) co_await ctx.rmw(counter);  // count[myid]++
+      }
+    });
+  }
+
+  const exec::RunResult result = machine.run();
+  const auto snapshot = pmu::CounterSnapshot::from_raw(result.aggregate);
+  const auto features = pmu::FeatureVector::normalize(snapshot);
+  std::printf("  cycles=%llu  instructions=%llu  HITM/instr=%.2e\n",
+              static_cast<unsigned long long>(result.total_cycles),
+              static_cast<unsigned long long>(result.instructions),
+              features.get(pmu::WestmereEvent::kSnoopResponseHitM));
+  return detector.classify(features);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== 1. Collecting training data (reduced grid)...\n");
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  const core::TrainingData data =
+      core::collect_or_load(config, "quickstart_training.csv", &std::cerr);
+  std::printf("   %zu labelled instances\n\n", data.instances.size());
+
+  std::printf("== 2. Training the J48/C4.5 detector...\n");
+  core::FalseSharingDetector detector;
+  detector.train(data);
+  std::printf("%s\n", detector.model().describe().c_str());
+
+  std::printf("== 3. Classifying a kernel with packed per-thread counters\n");
+  const trainers::Mode buggy = run_and_classify(detector, /*padded=*/false);
+  std::printf("   verdict: %s\n\n",
+              std::string(trainers::to_string(buggy)).c_str());
+
+  std::printf("== 4. Same kernel with line-padded counters\n");
+  const trainers::Mode fixed = run_and_classify(detector, /*padded=*/true);
+  std::printf("   verdict: %s\n\n",
+              std::string(trainers::to_string(fixed)).c_str());
+
+  if (buggy == trainers::Mode::kBadFs && fixed == trainers::Mode::kGood) {
+    std::printf("Detector caught the false sharing and confirmed the fix.\n");
+    return 0;
+  }
+  std::printf("Unexpected verdicts — see the classifications above.\n");
+  return 1;
+}

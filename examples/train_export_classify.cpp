@@ -1,0 +1,51 @@
+// Model lifecycle: collect -> train -> save -> reload -> classify, plus
+// exporting the training data as Weka ARFF so the actual J48 implementation
+// can cross-check the learned tree.
+//
+// Produces: fsml_model.tree, fsml_training.arff
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/detector.hpp"
+#include "core/training.hpp"
+#include "ml/io.hpp"
+#include "trainers/trainer.hpp"
+
+using namespace fsml;
+
+int main() {
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  const core::TrainingData data =
+      core::collect_or_load(config, "quickstart_training.csv", &std::cerr);
+
+  // Train and persist.
+  core::FalseSharingDetector detector;
+  detector.train(data);
+  detector.save_file("fsml_model.tree");
+  std::printf("model saved to fsml_model.tree (%zu nodes)\n",
+              detector.model().num_nodes());
+
+  // Export ARFF for Weka.
+  {
+    std::ofstream arff("fsml_training.arff");
+    ml::write_arff(data.to_dataset(), "fsml_false_sharing", arff);
+  }
+  std::printf("training data exported to fsml_training.arff "
+              "(load it in Weka and run J48 -C 0.25 -M 2)\n");
+
+  // Reload and use — e.g. in a monitoring daemon that never trains.
+  const core::FalseSharingDetector loaded =
+      core::FalseSharingDetector::load_file("fsml_model.tree");
+
+  trainers::TrainerParams params;
+  params.mode = trainers::Mode::kBadFs;
+  params.threads = 6;
+  params.size = 32768;
+  const trainers::TrainerRun run = trainers::run_trainer(
+      trainers::find_program("pdot"), params, sim::MachineConfig::westmere_dp(6));
+  std::printf("reloaded model classifies a bad-fs pdot run as: %s\n",
+              std::string(trainers::to_string(loaded.classify(run.features)))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "baseline/epoch_detector.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fsml::baseline {
+
+EpochDetector::EpochDetector(std::uint32_t num_threads,
+                             EpochDetectorOptions options)
+    : num_threads_(num_threads),
+      options_(options),
+      next_commit_(options.epoch_instructions) {
+  FSML_CHECK(num_threads >= 1);
+  FSML_CHECK(options_.epoch_instructions >= 1);
+}
+
+void EpochDetector::on_instructions(sim::CoreId, std::uint64_t count) {
+  instructions_ += count;
+  if (instructions_ >= next_commit_) commit_epoch();
+}
+
+void EpochDetector::on_access(const sim::AccessRecord& record) {
+  ++instructions_;
+  ++accesses_;
+  if (sim::is_write(record.type)) {
+    const sim::Addr first_line =
+        record.addr / options_.line_bytes * options_.line_bytes;
+    const sim::Addr last_line = (record.addr + record.size - 1) /
+                                options_.line_bytes * options_.line_bytes;
+    for (sim::Addr line = first_line; line <= last_line;
+         line += options_.line_bytes) {
+      EpochLine& e = epoch_lines_[line];
+      if (e.written.empty()) {
+        e.written.assign(num_threads_, 0);
+        e.writes.assign(num_threads_, 0);
+      }
+      const sim::Addr begin = std::max(record.addr, line);
+      const sim::Addr end = std::min<sim::Addr>(record.addr + record.size,
+                                                line + options_.line_bytes);
+      const std::uint64_t off = begin % options_.line_bytes;
+      const std::uint64_t len = end - begin;
+      const std::uint64_t mask =
+          len >= 64 ? ~0ULL : ((1ULL << len) - 1) << off;
+      e.written[record.core] |= mask;
+      ++e.writes[record.core];
+    }
+  }
+  if (instructions_ >= next_commit_) commit_epoch();
+}
+
+void EpochDetector::commit_epoch() {
+  ++epochs_;
+  next_commit_ = instructions_ + options_.epoch_instructions;
+  for (auto& [line, e] : epoch_lines_) {
+    std::uint32_t writers = 0;
+    std::uint32_t writer_mask = 0;
+    bool overlap = false;
+    std::uint64_t seen = 0;
+    std::uint64_t total_writes = 0;
+    std::uint64_t max_writes = 0;
+    for (std::uint32_t t = 0; t < num_threads_; ++t) {
+      if (e.written[t] == 0) continue;
+      ++writers;
+      writer_mask |= 1u << t;
+      if (seen & e.written[t]) overlap = true;
+      seen |= e.written[t];
+      total_writes += e.writes[t];
+      max_writes = std::max(max_writes, e.writes[t]);
+    }
+    if (writers >= 2) {
+      // Interleaving weight: every write beyond the dominant thread's is a
+      // potential cross-thread invalidation this epoch.
+      const std::uint64_t events = total_writes - max_writes;
+      LineStat& stat = totals_[line];
+      stat.line = line;
+      stat.writer_mask |= writer_mask;
+      if (overlap) {
+        ts_events_ += events;
+        stat.true_sharing_events += events;
+      } else {
+        fs_events_ += events;
+        stat.false_sharing_events += events;
+      }
+    }
+  }
+  epoch_lines_.clear();
+}
+
+SharingReport EpochDetector::report() {
+  if (!epoch_lines_.empty()) commit_epoch();
+  SharingReport r;
+  r.instructions = instructions_;
+  r.accesses = accesses_;
+  r.true_sharing_misses = ts_events_;
+  r.false_sharing_misses = fs_events_;
+
+  std::vector<LineStat> lines;
+  lines.reserve(totals_.size());
+  for (const auto& [line, stat] : totals_) lines.push_back(stat);
+  std::sort(lines.begin(), lines.end(),
+            [](const LineStat& a, const LineStat& b) {
+              return a.false_sharing_events > b.false_sharing_events;
+            });
+  if (lines.size() > options_.top_lines) lines.resize(options_.top_lines);
+  r.top_lines = std::move(lines);
+  return r;
+}
+
+}  // namespace fsml::baseline

@@ -1,0 +1,71 @@
+// EpochDetector: a SHERIFF-style detector (Liu & Berger, OOPSLA'11 — the
+// paper's reference [21]).
+//
+// SHERIFF turns threads into processes; each thread's writes stay private
+// between synchronization points and are diffed against a twin page at
+// commit. Cache lines that different threads wrote *within the same epoch*
+// at disjoint offsets are false-sharing suspects, ranked by how many times
+// that interleaving repeats.
+//
+// Our observer equivalent: execution is cut into fixed-length epochs (by
+// retired instructions, a stand-in for sync-point frequency); per epoch it
+// records each thread's written-byte mask per line and, at the epoch
+// boundary, charges every line written by two or more threads — disjointly
+// (false sharing) or overlapping (true sharing). Unlike the Zhao detector
+// it sees only *writes* (reader threads are invisible between commits),
+// which is exactly why SHERIFF under-weighs read-mostly contention; the
+// paper leans on this when discussing reverse_index/word_count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/report.hpp"
+#include "sim/observer.hpp"
+
+namespace fsml::baseline {
+
+struct EpochDetectorOptions {
+  std::uint32_t line_bytes = 64;
+  std::uint64_t epoch_instructions = 20000;  ///< epoch commit period
+  std::size_t top_lines = 10;
+};
+
+class EpochDetector final : public sim::AccessObserver {
+ public:
+  explicit EpochDetector(std::uint32_t num_threads,
+                         EpochDetectorOptions options = {});
+
+  void on_access(const sim::AccessRecord& record) override;
+  void on_instructions(sim::CoreId core, std::uint64_t count) override;
+
+  /// Commits the final partial epoch and produces the report. The report's
+  /// false_sharing_misses field carries *false-sharing write events*
+  /// (writes to contended lines), comparable against the same 1e-3/instr
+  /// rule.
+  SharingReport report();
+
+  std::uint64_t epochs_committed() const { return epochs_; }
+
+ private:
+  struct EpochLine {
+    std::vector<std::uint64_t> written;  ///< per thread byte mask
+    std::vector<std::uint64_t> writes;   ///< per thread write count
+  };
+
+  void commit_epoch();
+
+  std::uint32_t num_threads_;
+  EpochDetectorOptions options_;
+  std::unordered_map<sim::Addr, EpochLine> epoch_lines_;
+  std::unordered_map<sim::Addr, LineStat> totals_;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t next_commit_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t fs_events_ = 0;
+  std::uint64_t ts_events_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace fsml::baseline

@@ -1,0 +1,107 @@
+#include "core/advisor.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::core {
+
+std::string_view to_string(Remedy remedy) {
+  switch (remedy) {
+    case Remedy::kPadToLine: return "pad-to-line";
+    case Remedy::kReduceSharing: return "reduce-sharing";
+    case Remedy::kNone: return "none";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string describe(const Recommendation& r, std::uint32_t line_bytes) {
+  std::ostringstream os;
+  os << "line 0x" << std::hex << r.line << std::dec;
+  if (r.allocation != "<unnamed>")
+    os << " (" << r.allocation << " + " << r.offset << ")";
+  os << ": " << r.writers << " writers, " << r.false_sharing_events
+     << " false-sharing / " << r.true_sharing_events
+     << " true-sharing events — ";
+  switch (r.remedy) {
+    case Remedy::kPadToLine:
+      os << "FALSE SHARING: give each thread's field its own " << line_bytes
+         << "-byte line (alignas(" << line_bytes << ")); costs ~"
+         << r.padding_cost_bytes << " extra bytes";
+      break;
+    case Remedy::kReduceSharing:
+      os << "TRUE sharing: padding will not help; batch the updates or "
+            "privatize-and-merge";
+      break;
+    case Remedy::kNone:
+      os << "contention negligible";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+MitigationReport advise(const baseline::SharingReport& sharing,
+                        const exec::VirtualArena& arena,
+                        std::uint32_t line_bytes, std::uint64_t min_events) {
+  FSML_CHECK(std::has_single_bit(static_cast<std::uint64_t>(line_bytes)));
+  MitigationReport report;
+  report.has_false_sharing = sharing.has_false_sharing();
+
+  for (const baseline::LineStat& line : sharing.top_lines) {
+    const std::uint64_t events =
+        line.false_sharing_events + line.true_sharing_events;
+    if (events < min_events) continue;
+
+    Recommendation rec;
+    rec.line = line.line;
+    rec.false_sharing_events = line.false_sharing_events;
+    rec.true_sharing_events = line.true_sharing_events;
+    rec.writers = static_cast<std::uint32_t>(
+        std::popcount(line.writer_mask));
+
+    if (const auto alloc = arena.find_allocation(line.line)) {
+      rec.allocation = alloc->name;
+      rec.offset = line.line - alloc->begin;
+    } else {
+      rec.allocation = "<unnamed>";
+    }
+
+    // False sharing dominates -> layout fix; true sharing dominates ->
+    // algorithmic fix. (A line can show both when fields are interleaved.)
+    if (rec.false_sharing_events >= 2 * rec.true_sharing_events &&
+        rec.writers >= 2) {
+      rec.remedy = Remedy::kPadToLine;
+      // Padding gives each of the `writers` fields a full line where they
+      // previously shared one.
+      rec.padding_cost_bytes =
+          static_cast<std::uint64_t>(rec.writers - 1) * line_bytes;
+    } else if (rec.true_sharing_events > 0 && rec.writers >= 2) {
+      rec.remedy = Remedy::kReduceSharing;
+    } else {
+      rec.remedy = Remedy::kNone;
+    }
+    rec.text = describe(rec, line_bytes);
+    report.recommendations.push_back(std::move(rec));
+  }
+  return report;
+}
+
+std::string MitigationReport::to_string() const {
+  std::ostringstream os;
+  if (recommendations.empty()) {
+    os << "no contended lines above the noise floor\n";
+    return os.str();
+  }
+  os << (has_false_sharing ? "FALSE SHARING DETECTED" : "no false sharing")
+     << " — " << recommendations.size() << " contended line(s):\n";
+  for (const Recommendation& r : recommendations)
+    os << "  " << r.text << '\n';
+  return os.str();
+}
+
+}  // namespace fsml::core

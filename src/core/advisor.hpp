@@ -1,0 +1,61 @@
+// MitigationAdvisor: turns ground-truth line reports into actionable
+// layout recommendations — the counterpart of SHERIFF-PROTECT's automatic
+// mitigation (the paper's ref [21] both detects and repairs false sharing;
+// our advisor recommends, the caller applies).
+//
+//   baseline::ShadowDetector shadow(threads);
+//   ... run instrumented ...
+//   core::MitigationReport report = core::advise(
+//       shadow.report(), machine.arena(), machine.config().l1d.line_bytes);
+//   for (const auto& r : report.recommendations) std::puts(r.text.c_str());
+//
+// For each contended line the advisor: names the allocation it belongs to
+// (when the kernel used alloc_named), distinguishes false from true sharing
+// (padding fixes the former, only batching/redesign fixes the latter),
+// counts the distinct writers, and estimates the padded-layout memory cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/report.hpp"
+#include "exec/arena.hpp"
+
+namespace fsml::core {
+
+enum class Remedy : std::uint8_t {
+  kPadToLine,       ///< false sharing: give each writer its own line
+  kReduceSharing,   ///< true sharing: batch updates / privatize + merge
+  kNone,            ///< contention too small to matter
+};
+
+std::string_view to_string(Remedy remedy);
+
+struct Recommendation {
+  sim::Addr line = 0;
+  std::string allocation;      ///< named allocation, or "<unnamed>"
+  std::uint64_t offset = 0;    ///< line offset within the allocation
+  Remedy remedy = Remedy::kNone;
+  std::uint32_t writers = 0;
+  std::uint64_t false_sharing_events = 0;
+  std::uint64_t true_sharing_events = 0;
+  std::uint64_t padding_cost_bytes = 0;  ///< extra memory if padded
+  std::string text;            ///< human-readable one-liner
+};
+
+struct MitigationReport {
+  std::vector<Recommendation> recommendations;  ///< most severe first
+  bool has_false_sharing = false;
+
+  std::string to_string() const;
+};
+
+/// Builds recommendations from a sharing report. Lines whose combined
+/// events fall below `min_events` are ignored as noise.
+MitigationReport advise(const baseline::SharingReport& sharing,
+                        const exec::VirtualArena& arena,
+                        std::uint32_t line_bytes = 64,
+                        std::uint64_t min_events = 16);
+
+}  // namespace fsml::core

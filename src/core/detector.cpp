@@ -1,0 +1,74 @@
+#include "core/detector.hpp"
+
+#include <array>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace fsml::core {
+
+FalseSharingDetector::FalseSharingDetector(ml::C45Params params)
+    : tree_(params) {}
+
+void FalseSharingDetector::train(const TrainingData& data) {
+  train(data.to_dataset());
+}
+
+void FalseSharingDetector::train(const ml::Dataset& dataset) {
+  FSML_CHECK_MSG(dataset.num_attributes() == pmu::kNumFeatures,
+                 "detector expects the 15 normalized Westmere features");
+  tree_.train(dataset);
+  trained_ = true;
+}
+
+trainers::Mode FalseSharingDetector::classify(
+    const pmu::FeatureVector& features) const {
+  FSML_CHECK_MSG(trained_, "detector is not trained");
+  return mode_of(tree_.predict(features.values()));
+}
+
+trainers::Mode FalseSharingDetector::majority(
+    const std::vector<trainers::Mode>& verdicts) {
+  FSML_CHECK_MSG(!verdicts.empty(), "majority of zero verdicts");
+  std::array<std::size_t, 3> counts{};
+  for (const trainers::Mode v : verdicts)
+    ++counts[static_cast<std::size_t>(label_of(v))];
+  // Scan in severity order bad-fs, bad-ma, good so ties resolve to the
+  // worse verdict.
+  const std::array<int, 3> severity_order = {kBadFs, kBadMa, kGood};
+  int best = kGood;
+  std::size_t best_count = 0;
+  for (const int label : severity_order) {
+    if (counts[static_cast<std::size_t>(label)] > best_count) {
+      best = label;
+      best_count = counts[static_cast<std::size_t>(label)];
+    }
+  }
+  return mode_of(best);
+}
+
+void FalseSharingDetector::save(std::ostream& os) const {
+  FSML_CHECK_MSG(trained_, "cannot save an untrained detector");
+  tree_.save(os);
+}
+
+FalseSharingDetector FalseSharingDetector::load(std::istream& is) {
+  FalseSharingDetector detector;
+  detector.tree_ = ml::C45Tree::load(is);
+  detector.trained_ = true;
+  return detector;
+}
+
+void FalseSharingDetector::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  FSML_CHECK_MSG(static_cast<bool>(os), "cannot open " + path);
+  save(os);
+}
+
+FalseSharingDetector FalseSharingDetector::load_file(const std::string& path) {
+  std::ifstream is(path);
+  FSML_CHECK_MSG(static_cast<bool>(is), "cannot open " + path);
+  return load(is);
+}
+
+}  // namespace fsml::core

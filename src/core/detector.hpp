@@ -1,0 +1,58 @@
+// FalseSharingDetector: the library's primary public API.
+//
+//   core::TrainingData data = core::collect_or_load(cfg, "training.csv");
+//   core::FalseSharingDetector detector;
+//   detector.train(data);
+//
+//   // classify any instrumented run of an arbitrary program:
+//   trainers::TrainerRun run = ...;           // or a workload proxy run
+//   trainers::Mode verdict = detector.classify(run.features);
+//
+// The detector wraps a J48/C4.5 decision tree over the 15 normalized
+// Westmere events, mirrors the paper's majority-vote aggregation across a
+// program's (input, threads, optimization) cases, and persists to disk.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/labels.hpp"
+#include "core/training.hpp"
+#include "ml/c45.hpp"
+#include "pmu/counters.hpp"
+
+namespace fsml::core {
+
+class FalseSharingDetector {
+ public:
+  explicit FalseSharingDetector(ml::C45Params params = {});
+
+  /// Trains the tree on collected mini-program data.
+  void train(const TrainingData& data);
+  void train(const ml::Dataset& dataset);
+
+  bool trained() const { return trained_; }
+
+  /// Classifies one program run by its normalized event counts.
+  trainers::Mode classify(const pmu::FeatureVector& features) const;
+
+  /// Paper Table 5: a program's overall classification is the majority
+  /// verdict over all its cases (ties break toward the worse verdict:
+  /// bad-fs > bad-ma > good — a detector should not hide a fault it saw in
+  /// half the cases).
+  static trainers::Mode majority(const std::vector<trainers::Mode>& verdicts);
+
+  const ml::C45Tree& model() const { return tree_; }
+
+  void save(std::ostream& os) const;
+  static FalseSharingDetector load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static FalseSharingDetector load_file(const std::string& path);
+
+ private:
+  ml::C45Tree tree_;
+  bool trained_ = false;
+};
+
+}  // namespace fsml::core

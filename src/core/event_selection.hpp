@@ -1,0 +1,52 @@
+// Identification of relevant performance events (paper §2.3).
+//
+// The procedure searches the candidate event list in two steps:
+//  1. run every multi-threaded mini-program in "good" and "bad-fs" modes
+//     across several thread counts; an event is a *fs-discriminator* if its
+//     normalized count differs by at least `ratio_threshold` (the paper's
+//     "minimum 2x ratio" heuristic) between the two modes for a majority of
+//     the mini-programs;
+//  2. for the remaining candidates, repeat with "good" vs "bad-ma" over the
+//     programs that have a bad-ma variant (plus the sequential set).
+//
+// The union of both steps (plus Instructions_Retired, the normalizer) is
+// the event set the classifier consumes — the paper's Table 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+#include "sim/raw_events.hpp"
+
+namespace fsml::core {
+
+struct EventSelectionConfig {
+  double ratio_threshold = 2.0;      ///< paper's "minimum 2x" heuristic
+  double majority_fraction = 0.5;    ///< "for a majority of mini-programs"
+  std::vector<std::uint32_t> thread_counts = {3, 6, 9, 12};
+  std::uint64_t seed = 1;
+  sim::MachineConfig machine = sim::MachineConfig::westmere_dp(12);
+  /// Counts below this (normalized) are treated as zero/noise.
+  double noise_floor = 1e-7;
+};
+
+struct EventStat {
+  sim::RawEvent event{};
+  std::size_t programs_passed = 0;
+  std::size_t programs_total = 0;
+  double median_ratio = 0.0;  ///< median over programs of max(r, 1/r)
+};
+
+struct EventSelectionResult {
+  std::vector<sim::RawEvent> fs_discriminators;  ///< step 1
+  std::vector<sim::RawEvent> ma_discriminators;  ///< step 2
+  std::vector<sim::RawEvent> selected;           ///< union, stable order
+  std::vector<EventStat> fs_stats;               ///< all candidates, step 1
+  std::vector<EventStat> ma_stats;               ///< remaining, step 2
+};
+
+EventSelectionResult select_events(const EventSelectionConfig& config);
+
+}  // namespace fsml::core

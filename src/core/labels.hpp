@@ -1,0 +1,40 @@
+// Class labels of the three-way classification (paper §2.1) and their
+// mapping to the trainers' Mode enum.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trainers/trainer.hpp"
+
+namespace fsml::core {
+
+/// Class indices in every Dataset / ConfusionMatrix this library builds:
+/// 0 = good, 1 = bad-fs, 2 = bad-ma (the paper's three modes).
+inline constexpr int kGood = 0;
+inline constexpr int kBadFs = 1;
+inline constexpr int kBadMa = 2;
+
+inline std::vector<std::string> class_names() {
+  return {"good", "bad-fs", "bad-ma"};
+}
+
+inline int label_of(trainers::Mode mode) {
+  switch (mode) {
+    case trainers::Mode::kGood: return kGood;
+    case trainers::Mode::kBadFs: return kBadFs;
+    case trainers::Mode::kBadMa: return kBadMa;
+  }
+  return kGood;
+}
+
+inline trainers::Mode mode_of(int label) {
+  switch (label) {
+    case kGood: return trainers::Mode::kGood;
+    case kBadFs: return trainers::Mode::kBadFs;
+    case kBadMa: return trainers::Mode::kBadMa;
+    default: return trainers::Mode::kGood;
+  }
+}
+
+}  // namespace fsml::core

@@ -1,0 +1,99 @@
+#include "core/slices.hpp"
+
+#include <algorithm>
+
+#include "pmu/counters.hpp"
+#include "util/check.hpp"
+
+namespace fsml::core {
+
+SliceReport::SliceReport(std::vector<SliceVerdict> slices,
+                         sim::Cycles slice_cycles)
+    : slices_(std::move(slices)), slice_cycles_(slice_cycles) {}
+
+std::size_t SliceReport::count(trainers::Mode mode) const {
+  std::size_t n = 0;
+  for (const SliceVerdict& s : slices_)
+    if (s.classified && s.verdict == mode) ++n;
+  return n;
+}
+
+double SliceReport::fraction(trainers::Mode mode) const {
+  std::size_t classified = 0;
+  for (const SliceVerdict& s : slices_)
+    if (s.classified) ++classified;
+  if (classified == 0) return 0.0;
+  return static_cast<double>(count(mode)) /
+         static_cast<double>(classified);
+}
+
+trainers::Mode SliceReport::overall() const {
+  std::vector<trainers::Mode> verdicts;
+  for (const SliceVerdict& s : slices_)
+    if (s.classified) verdicts.push_back(s.verdict);
+  if (verdicts.empty()) return trainers::Mode::kGood;
+  return FalseSharingDetector::majority(verdicts);
+}
+
+std::vector<SliceRange> SliceReport::bad_fs_ranges() const {
+  std::vector<SliceRange> ranges;
+  std::optional<std::size_t> start;
+  for (std::size_t i = 0; i <= slices_.size(); ++i) {
+    const bool fs = i < slices_.size() && slices_[i].classified &&
+                    slices_[i].verdict == trainers::Mode::kBadFs;
+    if (fs && !start) start = i;
+    if (!fs && start) {
+      ranges.push_back(SliceRange{*start, i - 1});
+      start.reset();
+    }
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const SliceRange& a, const SliceRange& b) {
+              return a.length() > b.length();
+            });
+  return ranges;
+}
+
+std::string SliceReport::timeline() const {
+  std::string out;
+  out.reserve(slices_.size());
+  for (const SliceVerdict& s : slices_) {
+    if (!s.classified) {
+      out.push_back('.');
+    } else {
+      switch (s.verdict) {
+        case trainers::Mode::kGood: out.push_back('g'); break;
+        case trainers::Mode::kBadFs: out.push_back('F'); break;
+        case trainers::Mode::kBadMa: out.push_back('m'); break;
+      }
+    }
+  }
+  return out;
+}
+
+SliceReport analyze_slices(const FalseSharingDetector& detector,
+                           const exec::RunResult& run,
+                           std::uint64_t min_instructions) {
+  FSML_CHECK_MSG(run.slice_cycles > 0,
+                 "run was not sliced — call Machine::enable_slicing() "
+                 "before run()");
+  std::vector<SliceVerdict> verdicts;
+  verdicts.reserve(run.slices.size());
+  for (std::size_t i = 0; i < run.slices.size(); ++i) {
+    const sim::RawCounters& raw = run.slices[i];
+    SliceVerdict v;
+    v.index = i;
+    v.instructions = raw.get(sim::RawEvent::kInstructionsRetired);
+    if (v.instructions >= min_instructions) {
+      const auto snapshot = pmu::CounterSnapshot::from_raw(raw);
+      const auto features = pmu::FeatureVector::normalize(snapshot);
+      v.classified = true;
+      v.verdict = detector.classify(features);
+      v.hitm_rate = features.get(pmu::WestmereEvent::kSnoopResponseHitM);
+    }
+    verdicts.push_back(v);
+  }
+  return SliceReport(std::move(verdicts), run.slice_cycles);
+}
+
+}  // namespace fsml::core

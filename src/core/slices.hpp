@@ -1,0 +1,77 @@
+// Time-sliced (phase-level) false-sharing detection — the paper's §6
+// future-work direction "detecting false sharing at a finer granularity,
+// for e.g., in short time slices".
+//
+// The whole-program classification can miss or dilute false sharing that
+// only occurs in one phase (and conversely, spin-wait instruction inflation
+// in one phase can mask it — the paper's Table-8 anomaly). Slicing samples
+// the PMU every S cycles of virtual time (exec::Machine::enable_slicing)
+// and classifies each window independently, yielding a verdict timeline:
+//
+//   exec::Machine m(...);
+//   m.enable_slicing(50'000);
+//   ... build & run ...
+//   core::SliceReport report = core::analyze_slices(detector, run);
+//   // report.timeline() -> "ggggFFFFFFgggg" (false sharing in the middle)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "exec/machine.hpp"
+
+namespace fsml::core {
+
+struct SliceVerdict {
+  std::size_t index = 0;
+  trainers::Mode verdict = trainers::Mode::kGood;
+  bool classified = false;   ///< false: too few instructions to judge
+  std::uint64_t instructions = 0;
+  double hitm_rate = 0.0;    ///< normalized Snoop_Response.HIT_M
+};
+
+struct SliceRange {
+  std::size_t first = 0;
+  std::size_t last = 0;  ///< inclusive
+  std::size_t length() const { return last - first + 1; }
+};
+
+class SliceReport {
+ public:
+  explicit SliceReport(std::vector<SliceVerdict> slices,
+                       sim::Cycles slice_cycles);
+
+  const std::vector<SliceVerdict>& slices() const { return slices_; }
+  sim::Cycles slice_cycles() const { return slice_cycles_; }
+
+  std::size_t count(trainers::Mode mode) const;
+  /// Fraction of *classified* slices with this verdict.
+  double fraction(trainers::Mode mode) const;
+
+  /// Majority verdict over classified slices (severity tie-break, like the
+  /// whole-program rule).
+  trainers::Mode overall() const;
+
+  /// Maximal runs of consecutive bad-fs slices, longest first.
+  std::vector<SliceRange> bad_fs_ranges() const;
+
+  /// One character per slice: 'g' good, 'F' bad-fs, 'm' bad-ma,
+  /// '.' unclassified (idle window).
+  std::string timeline() const;
+
+ private:
+  std::vector<SliceVerdict> slices_;
+  sim::Cycles slice_cycles_;
+};
+
+/// Classifies each slice of an instrumented run. Slices with fewer than
+/// `min_instructions` retired are reported unclassified — normalized
+/// counts from near-idle windows are noise.
+SliceReport analyze_slices(const FalseSharingDetector& detector,
+                           const exec::RunResult& run,
+                           std::uint64_t min_instructions = 2000);
+
+}  // namespace fsml::core

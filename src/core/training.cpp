@@ -1,0 +1,315 @@
+#include "core/training.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace fsml::core {
+
+namespace {
+
+using trainers::AccessPattern;
+using trainers::MiniProgram;
+using trainers::Mode;
+using trainers::TrainerParams;
+
+std::uint64_t run_seed(std::uint64_t base, const std::string& program,
+                       std::uint64_t size, std::uint32_t threads, Mode mode,
+                       AccessPattern pattern, int rep) {
+  // FNV-1a over the run coordinates, then SplitMix to spread bits.
+  std::uint64_t h = 1469598103934665603ULL ^ base;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ULL;
+  };
+  for (const char c : program) mix(static_cast<std::uint64_t>(c));
+  mix(size);
+  mix(threads);
+  mix(static_cast<std::uint64_t>(mode));
+  mix(static_cast<std::uint64_t>(pattern));
+  mix(static_cast<std::uint64_t>(rep));
+  return util::SplitMix64(h).next();
+}
+
+LabeledInstance run_one(const MiniProgram& program, std::uint64_t size,
+                        std::uint32_t threads, Mode mode,
+                        AccessPattern pattern, int rep,
+                        const TrainingConfig& config, bool part_a) {
+  TrainerParams params;
+  params.mode = mode;
+  params.threads = threads;
+  params.size = size;
+  params.pattern = pattern;
+  params.seed = run_seed(config.seed, std::string(program.name()), size,
+                         threads, mode, pattern, rep);
+  const trainers::TrainerRun run =
+      trainers::run_trainer(program, params, config.machine);
+
+  LabeledInstance inst;
+  inst.features = run.features;
+  inst.label = label_of(mode);
+  inst.program = std::string(program.name());
+  inst.size = size;
+  inst.threads = threads;
+  inst.pattern = pattern;
+  inst.seconds = run.result.seconds;
+  inst.part_a = part_a;
+  return inst;
+}
+
+double median_seconds(const std::vector<const LabeledInstance*>& group) {
+  std::vector<double> secs;
+  secs.reserve(group.size());
+  for (const LabeledInstance* inst : group) secs.push_back(inst->seconds);
+  return util::median(std::move(secs));
+}
+
+}  // namespace
+
+TrainingConfig TrainingConfig::reduced() {
+  TrainingConfig cfg;
+  cfg.thread_counts = {3, 6};
+  cfg.reps_good = 1;
+  cfg.reps_bad_fs = 1;
+  cfg.reps_bad_ma = 1;
+  cfg.seq_reps_good = 1;
+  cfg.seq_reps_bad_ma = 1;
+  return cfg;
+}
+
+TrainingData collect_training_data(const TrainingConfig& config,
+                                   std::ostream* log) {
+  TrainingData data;
+  const auto log_line = [log](const std::string& s) {
+    if (log) *log << s << '\n' << std::flush;
+  };
+
+  // ---- Part A: multi-threaded programs ------------------------------------
+  for (const MiniProgram* program : trainers::multithreaded_set()) {
+    log_line("collecting part A: " + std::string(program->name()));
+    for (const std::uint64_t size : program->default_sizes()) {
+      for (const std::uint32_t threads : config.thread_counts) {
+        std::vector<LabeledInstance> group;
+        for (int r = 0; r < config.reps_good; ++r)
+          group.push_back(run_one(*program, size, threads, Mode::kGood,
+                                  AccessPattern::kLinear, r, config, true));
+        for (int r = 0; r < config.reps_bad_fs; ++r)
+          group.push_back(run_one(*program, size, threads, Mode::kBadFs,
+                                  AccessPattern::kLinear, r, config, true));
+        if (program->supports_bad_ma()) {
+          for (int r = 0; r < config.reps_bad_ma; ++r) {
+            const AccessPattern pattern = r % 2 == 0
+                                              ? AccessPattern::kRandom
+                                              : AccessPattern::kStrided;
+            group.push_back(run_one(*program, size, threads, Mode::kBadMa,
+                                    pattern, r, config, true));
+          }
+        }
+
+        // Census + the Part-A filter (drop insignificant bad-ma).
+        std::vector<const LabeledInstance*> good, bad_ma;
+        for (const LabeledInstance& inst : group) {
+          if (inst.label == kGood) {
+            ++data.census_a.initial_good;
+            good.push_back(&inst);
+          } else if (inst.label == kBadFs) {
+            ++data.census_a.initial_bad_fs;
+          } else {
+            ++data.census_a.initial_bad_ma;
+            bad_ma.push_back(&inst);
+          }
+        }
+        bool drop_bad_ma = false;
+        if (config.filter && !bad_ma.empty()) {
+          const double good_med = median_seconds(good);
+          const double bad_med = median_seconds(bad_ma);
+          drop_bad_ma = bad_med < config.significance_gap * good_med;
+        }
+        for (LabeledInstance& inst : group) {
+          if (drop_bad_ma && inst.label == kBadMa) {
+            ++data.census_a.removed_bad_ma;
+            continue;
+          }
+          data.instances.push_back(std::move(inst));
+        }
+      }
+    }
+  }
+
+  // ---- Part B: sequential programs ----------------------------------------
+  for (const MiniProgram* program : trainers::sequential_set()) {
+    log_line("collecting part B: " + std::string(program->name()));
+    for (const std::uint64_t size : program->default_sizes()) {
+      std::vector<LabeledInstance> group;
+      for (int r = 0; r < config.seq_reps_good; ++r)
+        group.push_back(run_one(*program, size, 1, Mode::kGood,
+                                AccessPattern::kLinear, r, config, false));
+      for (const AccessPattern pattern :
+           {AccessPattern::kRandom, AccessPattern::kStrided}) {
+        for (int r = 0; r < config.seq_reps_bad_ma; ++r)
+          group.push_back(run_one(*program, size, 1, Mode::kBadMa, pattern, r,
+                                  config, false));
+      }
+
+      std::vector<const LabeledInstance*> good;
+      std::map<AccessPattern, std::vector<const LabeledInstance*>> bad_ma;
+      for (const LabeledInstance& inst : group) {
+        if (inst.label == kGood) {
+          ++data.census_b.initial_good;
+          good.push_back(&inst);
+        } else {
+          ++data.census_b.initial_bad_ma;
+          bad_ma[inst.pattern].push_back(&inst);
+        }
+      }
+
+      // Part-B filter: drop insignificant bad-ma patterns; if none of the
+      // patterns is significant the whole group (good included) goes.
+      std::vector<AccessPattern> dropped_patterns;
+      if (config.filter) {
+        const double good_med = median_seconds(good);
+        for (const auto& [pattern, instances] : bad_ma) {
+          if (median_seconds(instances) <
+              config.significance_gap * good_med)
+            dropped_patterns.push_back(pattern);
+        }
+      }
+      const bool drop_group = dropped_patterns.size() == bad_ma.size() &&
+                              !bad_ma.empty() && config.filter;
+      for (LabeledInstance& inst : group) {
+        const bool dropped_pattern =
+            inst.label == kBadMa &&
+            std::find(dropped_patterns.begin(), dropped_patterns.end(),
+                      inst.pattern) != dropped_patterns.end();
+        if (drop_group || dropped_pattern) {
+          if (inst.label == kGood)
+            ++data.census_b.removed_good;
+          else
+            ++data.census_b.removed_bad_ma;
+          continue;
+        }
+        data.instances.push_back(std::move(inst));
+      }
+    }
+  }
+
+  log_line("collection complete: " +
+           std::to_string(data.instances.size()) + " instances");
+  return data;
+}
+
+ml::Dataset TrainingData::to_dataset() const {
+  ml::Dataset dataset(pmu::FeatureVector::feature_names(), class_names());
+  for (const LabeledInstance& inst : instances) {
+    std::vector<double> x(inst.features.values().begin(),
+                          inst.features.values().end());
+    dataset.add(std::move(x), inst.label);
+  }
+  return dataset;
+}
+
+namespace {
+
+void write_census(std::ostream& os, const char* tag, const Census& c) {
+  os << "# census " << tag << ' ' << c.initial_good << ' ' << c.initial_bad_fs
+     << ' ' << c.initial_bad_ma << ' ' << c.removed_good << ' '
+     << c.removed_bad_fs << ' ' << c.removed_bad_ma << '\n';
+}
+
+Census read_census(const std::string& line) {
+  std::istringstream ss(line);
+  std::string hash, word, tag;
+  Census c;
+  ss >> hash >> word >> tag >> c.initial_good >> c.initial_bad_fs >>
+      c.initial_bad_ma >> c.removed_good >> c.removed_bad_fs >>
+      c.removed_bad_ma;
+  FSML_CHECK_MSG(static_cast<bool>(ss), "malformed census line");
+  return c;
+}
+
+}  // namespace
+
+void TrainingData::save_csv(std::ostream& os) const {
+  write_census(os, "A", census_a);
+  write_census(os, "B", census_b);
+  for (const auto& name : pmu::FeatureVector::feature_names())
+    os << name << ',';
+  os << "label,program,size,threads,pattern,seconds,part\n";
+  os.precision(17);
+  for (const LabeledInstance& inst : instances) {
+    for (const double v : inst.features.values()) os << v << ',';
+    os << class_names()[static_cast<std::size_t>(inst.label)] << ','
+       << inst.program << ',' << inst.size << ',' << inst.threads << ','
+       << trainers::to_string(inst.pattern) << ',' << inst.seconds << ','
+       << (inst.part_a ? 'A' : 'B') << '\n';
+  }
+}
+
+TrainingData TrainingData::load_csv(std::istream& is) {
+  TrainingData data;
+  std::string line;
+  FSML_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                 "empty training CSV");
+  data.census_a = read_census(line);
+  FSML_CHECK(static_cast<bool>(std::getline(is, line)));
+  data.census_b = read_census(line);
+  FSML_CHECK(static_cast<bool>(std::getline(is, line)));  // header
+
+  const auto names = class_names();
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    LabeledInstance inst;
+    for (std::size_t i = 0; i < pmu::kNumFeatures; ++i) {
+      FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+      inst.features.set(i, std::stod(field));
+    }
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    const auto it = std::find(names.begin(), names.end(), field);
+    FSML_CHECK_MSG(it != names.end(), "unknown label in training CSV");
+    inst.label = static_cast<int>(std::distance(names.begin(), it));
+    FSML_CHECK(static_cast<bool>(std::getline(ss, inst.program, ',')));
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    inst.size = std::stoull(field);
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    inst.threads = static_cast<std::uint32_t>(std::stoul(field));
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    if (field == "random")
+      inst.pattern = AccessPattern::kRandom;
+    else if (field == "strided")
+      inst.pattern = AccessPattern::kStrided;
+    else
+      inst.pattern = AccessPattern::kLinear;
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    inst.seconds = std::stod(field);
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    inst.part_a = field == "A";
+    data.instances.push_back(std::move(inst));
+  }
+  return data;
+}
+
+TrainingData collect_or_load(const TrainingConfig& config,
+                             const std::string& path, std::ostream* log) {
+  {
+    std::ifstream in(path);
+    if (in) {
+      if (log) *log << "loading cached training data from " << path << '\n';
+      return TrainingData::load_csv(in);
+    }
+  }
+  TrainingData data = collect_training_data(config, log);
+  std::ofstream out(path);
+  FSML_CHECK_MSG(static_cast<bool>(out),
+                 "cannot write training cache to " + path);
+  data.save_csv(out);
+  if (log) *log << "training data cached to " << path << '\n';
+  return data;
+}
+
+}  // namespace fsml::core

@@ -1,0 +1,60 @@
+#include "exec/arena.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace fsml::exec {
+
+VirtualArena::VirtualArena(sim::Addr base, std::uint32_t line_bytes,
+                           std::uint32_t page_bytes)
+    : base_(base), next_(base), line_bytes_(line_bytes),
+      page_bytes_(page_bytes) {
+  FSML_CHECK(std::has_single_bit(static_cast<std::uint64_t>(line_bytes)));
+  FSML_CHECK(std::has_single_bit(static_cast<std::uint64_t>(page_bytes)));
+  FSML_CHECK(page_bytes >= line_bytes);
+}
+
+sim::Addr VirtualArena::alloc(std::uint64_t bytes, std::uint64_t align) {
+  FSML_CHECK(bytes > 0);
+  FSML_CHECK(std::has_single_bit(align));
+  next_ = (next_ + align - 1) & ~(align - 1);
+  const sim::Addr addr = next_;
+  next_ += bytes;
+  return addr;
+}
+
+sim::Addr VirtualArena::alloc_line_aligned(std::uint64_t bytes) {
+  return alloc(bytes, line_bytes_);
+}
+
+sim::Addr VirtualArena::alloc_page_aligned(std::uint64_t bytes) {
+  return alloc(bytes, page_bytes_);
+}
+
+sim::Addr VirtualArena::alloc_named(const std::string& name,
+                                    std::uint64_t bytes, std::uint64_t align) {
+  const sim::Addr addr = alloc(bytes, align);
+  allocations_.push_back(Allocation{name, addr, bytes});
+  return addr;
+}
+
+sim::Addr VirtualArena::alloc_line_aligned_named(const std::string& name,
+                                                 std::uint64_t bytes) {
+  return alloc_named(name, bytes, line_bytes_);
+}
+
+std::optional<Allocation> VirtualArena::find_allocation(sim::Addr addr) const {
+  for (const Allocation& a : allocations_)
+    if (a.contains(addr)) return a;
+  return std::nullopt;
+}
+
+void VirtualArena::skip(std::uint64_t bytes) { next_ += bytes; }
+
+void VirtualArena::reset() {
+  next_ = base_;
+  allocations_.clear();
+}
+
+}  // namespace fsml::exec

@@ -1,0 +1,123 @@
+#include "exec/machine.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace fsml::exec {
+
+void ThreadCtx::compute(std::uint64_t n) {
+  if (n == 0) return;
+  const double cpi = machine_->config().cycles.compute_cpi;
+  clock_ += static_cast<sim::Cycles>(static_cast<double>(n) * cpi + 0.5);
+  machine_->memory().retire_instructions(core_, n);
+}
+
+sim::AccessResult ThreadCtx::perform(sim::Addr addr, std::uint32_t size,
+                                     sim::AccessType type) {
+  const sim::AccessResult r =
+      machine_->memory().access(core_, addr, size, type, clock_);
+  clock_ += r.latency;
+  ++ops_;
+  return r;
+}
+
+Machine::Machine(const sim::MachineConfig& config, std::uint64_t seed)
+    : memory_(config),
+      arena_(/*base=*/0x10000, config.l1d.line_bytes, config.page_bytes),
+      seed_(seed),
+      spawn_rng_(seed) {}
+
+void Machine::spawn(ThreadFn fn) {
+  FSML_CHECK_MSG(!ran_, "spawn after run() is not supported");
+  FSML_CHECK_MSG(threads_.size() < config().num_cores,
+                 "more threads than cores: enlarge the MachineConfig");
+  auto state = std::make_unique<ThreadState>();
+  state->fn = std::move(fn);
+  const auto core = static_cast<sim::CoreId>(threads_.size());
+  // Per-thread RNG stream derived deterministically from the machine seed.
+  state->ctx.reset(new ThreadCtx(this, core, spawn_rng_.next()));
+  threads_.push_back(std::move(state));
+}
+
+RunResult Machine::run(sim::Cycles max_cycles) {
+  FSML_CHECK_MSG(!ran_, "Machine::run() is one-shot");
+  FSML_CHECK_MSG(!threads_.empty(), "no threads spawned");
+  ran_ = true;
+
+  // Instantiate the coroutines and seed each thread's resume handle.
+  for (auto& t : threads_) {
+    t->task = t->fn(*t->ctx);
+    FSML_CHECK_MSG(t->task.valid(), "thread function must return a SimTask");
+    t->task.handle().promise().done_flag = &t->done;
+    t->ctx->set_resume(t->task.handle());
+  }
+
+  std::uint64_t memory_ops = 0;
+  RunResult result;
+  sim::RawCounters last_snapshot;
+  sim::Cycles next_boundary = slice_cycles_;
+  for (;;) {
+    ThreadState* next = nullptr;
+    for (auto& t : threads_) {
+      if (t->done) continue;
+      if (next == nullptr || t->ctx->clock() < next->ctx->clock())
+        next = t.get();
+    }
+    if (next == nullptr) break;  // all threads finished
+
+    // Slice sampling: when the global time front (the min clock) crosses a
+    // boundary, everything counted so far belongs to completed slices.
+    if (slice_cycles_ > 0) {
+      while (next->ctx->clock() >= next_boundary) {
+        const sim::RawCounters now = memory_.aggregate_counters();
+        result.slices.push_back(last_snapshot.delta_to(now));
+        last_snapshot = now;
+        next_boundary += slice_cycles_;
+      }
+    }
+
+    FSML_CHECK_MSG(next->ctx->clock() <= max_cycles,
+                   "simulation exceeded the cycle budget (deadlock or "
+                   "runaway kernel?)");
+
+    const auto handle = next->ctx->take_resume();
+    FSML_CHECK_MSG(static_cast<bool>(handle),
+                   "runnable thread without a resume point");
+    running_ = next;
+    handle.resume();
+    running_ = nullptr;
+
+    if (next->done) {
+      if (auto ep = next->task.handle().promise().exception)
+        std::rethrow_exception(ep);
+    }
+  }
+
+  result.core_cycles.reserve(threads_.size());
+  for (auto& t : threads_) {
+    const sim::Cycles c = t->ctx->clock();
+    result.core_cycles.push_back(c);
+    result.total_cycles = std::max(result.total_cycles, c);
+    memory_ops += t->ctx->ops_issued();
+    memory_.account_cycles(t->ctx->core(), c);
+  }
+  result.memory_ops = memory_ops;
+  result.aggregate = memory_.aggregate_counters();
+  if (slice_cycles_ > 0) {
+    // Final partial slice (account_cycles above does not affect deltas of
+    // interest beyond CYCLES_TOTAL).
+    result.slices.push_back(last_snapshot.delta_to(result.aggregate));
+    result.slice_cycles = slice_cycles_;
+  }
+  result.instructions =
+      result.aggregate.get(sim::RawEvent::kInstructionsRetired);
+  result.seconds = seconds(result.total_cycles);
+  return result;
+}
+
+double Machine::seconds(sim::Cycles cycles) const {
+  return static_cast<double>(cycles) / config().core_hz;
+}
+
+}  // namespace fsml::exec

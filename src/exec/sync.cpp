@@ -1,0 +1,3 @@
+// sync.hpp is header-only (awaitable templates); this TU just anchors the
+// library and type-checks the header standalone.
+#include "exec/sync.hpp"

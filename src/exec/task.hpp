@@ -1,0 +1,103 @@
+// SimTask: the coroutine type simulated threads are written in.
+//
+// A simulated thread is an ordinary C++20 coroutine that co_awaits every
+// memory operation (ThreadCtx::load/store/rmw). Each co_await applies the
+// access to the memory system, charges its latency to the thread's virtual
+// clock, and yields control to the scheduler, which always resumes the
+// runnable thread with the smallest clock — a discrete-event simulation of
+// fine-grain SMP interleaving, fully deterministic for a given seed.
+//
+// SimTask supports composition: a kernel can `co_await` helper coroutines
+// (lock acquisition, barrier waits) via symmetric transfer, so synchronization
+// primitives read like straight-line code.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fsml::exec {
+
+class SimTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  ///< parent coroutine, if awaited
+    bool* done_flag = nullptr;             ///< set for root (thread) tasks
+    std::exception_ptr exception;
+
+    SimTask get_return_object() {
+      return SimTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        promise_type& p = h.promise();
+        if (p.done_flag != nullptr) *p.done_flag = true;
+        if (p.continuation) return p.continuation;
+        return std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  SimTask() = default;
+  explicit SimTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  SimTask(SimTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+
+  ~SimTask() { destroy(); }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Awaiting a subtask starts it immediately (symmetric transfer) and
+  /// resumes the parent when the subtask completes. Exceptions propagate.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) const {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() const {
+        if (h && h.promise().exception)
+          std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace fsml::exec

@@ -1,0 +1,86 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fsml::ml {
+
+Dataset::Dataset(std::vector<std::string> attribute_names,
+                 std::vector<std::string> class_names)
+    : attribute_names_(std::move(attribute_names)),
+      class_names_(std::move(class_names)) {
+  FSML_CHECK_MSG(!attribute_names_.empty(), "need at least one attribute");
+  FSML_CHECK_MSG(class_names_.size() >= 2, "need at least two classes");
+}
+
+void Dataset::add(std::vector<double> values, int label) {
+  FSML_CHECK_MSG(values.size() == attribute_names_.size(),
+                 "attribute count mismatch");
+  FSML_CHECK_MSG(label >= 0 && static_cast<std::size_t>(label) <
+                                   class_names_.size(),
+                 "class label out of range");
+  instances_.push_back(Instance{std::move(values), label});
+}
+
+void Dataset::add(const Instance& instance) {
+  add(instance.x, instance.y);
+}
+
+const std::string& Dataset::class_name(int label) const {
+  FSML_CHECK(label >= 0 &&
+             static_cast<std::size_t>(label) < class_names_.size());
+  return class_names_[static_cast<std::size_t>(label)];
+}
+
+int Dataset::class_index(const std::string& name) const {
+  for (std::size_t i = 0; i < class_names_.size(); ++i)
+    if (class_names_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(class_names_.size(), 0);
+  for (const Instance& inst : instances_)
+    ++counts[static_cast<std::size_t>(inst.y)];
+  return counts;
+}
+
+int Dataset::majority_class() const {
+  const auto counts = class_counts();
+  return static_cast<int>(std::distance(
+      counts.begin(), std::max_element(counts.begin(), counts.end())));
+}
+
+Dataset Dataset::schema_clone() const {
+  return Dataset(attribute_names_, class_names_);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out = schema_clone();
+  for (const std::size_t i : indices) out.add(at(i));
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> Dataset::stratified_folds(
+    std::size_t k, util::Rng& rng) const {
+  FSML_CHECK_MSG(k >= 2, "need at least two folds");
+  FSML_CHECK_MSG(k <= size(), "more folds than instances");
+
+  std::vector<std::vector<std::size_t>> by_class(num_classes());
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    by_class[static_cast<std::size_t>(instances_[i].y)].push_back(i);
+
+  std::vector<std::vector<std::size_t>> folds(k);
+  std::size_t next_fold = 0;
+  for (auto& members : by_class) {
+    util::shuffle(members.begin(), members.end(), rng);
+    for (const std::size_t idx : members) {
+      folds[next_fold].push_back(idx);
+      next_fold = (next_fold + 1) % k;
+    }
+  }
+  return folds;
+}
+
+}  // namespace fsml::ml

@@ -1,0 +1,68 @@
+// Dataset: labelled numeric feature vectors for the classifiers.
+//
+// All attributes are continuous (the paper's features are normalized event
+// counts); the class attribute is nominal. Layout and terminology follow
+// Weka loosely so the J48 comparison in the paper maps one-to-one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fsml::ml {
+
+struct Instance {
+  std::vector<double> x;
+  int y = 0;  ///< class index
+};
+
+class Dataset {
+ public:
+  Dataset(std::vector<std::string> attribute_names,
+          std::vector<std::string> class_names);
+
+  void add(std::vector<double> values, int label);
+  void add(const Instance& instance);
+
+  std::size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+  std::size_t num_attributes() const { return attribute_names_.size(); }
+  std::size_t num_classes() const { return class_names_.size(); }
+
+  const Instance& at(std::size_t i) const { return instances_.at(i); }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+  const std::string& class_name(int label) const;
+  int class_index(const std::string& name) const;  ///< -1 if unknown
+
+  /// Instances per class.
+  std::vector<std::size_t> class_counts() const;
+  /// Index of the most frequent class (ties -> lowest index).
+  int majority_class() const;
+
+  /// Empty dataset with the same schema.
+  Dataset schema_clone() const;
+
+  /// Subset by instance indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Stratified k-fold split: returns, per fold, the *test* indices. Each
+  /// class's instances are shuffled (deterministically from rng) and dealt
+  /// round-robin, matching Weka's stratified CV behaviour.
+  std::vector<std::vector<std::size_t>> stratified_folds(std::size_t k,
+                                                         util::Rng& rng) const;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> class_names_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace fsml::ml

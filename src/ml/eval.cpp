@@ -1,0 +1,138 @@
+#include "ml/eval.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::vector<std::string> class_names)
+    : class_names_(std::move(class_names)),
+      cells_(class_names_.size() * class_names_.size(), 0) {
+  FSML_CHECK(!class_names_.empty());
+}
+
+void ConfusionMatrix::record(int actual, int predicted) {
+  const auto k = class_names_.size();
+  FSML_CHECK(actual >= 0 && static_cast<std::size_t>(actual) < k);
+  FSML_CHECK(predicted >= 0 && static_cast<std::size_t>(predicted) < k);
+  ++cells_[static_cast<std::size_t>(actual) * k +
+           static_cast<std::size_t>(predicted)];
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  FSML_CHECK(other.cells_.size() == cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+std::uint64_t ConfusionMatrix::at(int actual, int predicted) const {
+  const auto k = class_names_.size();
+  return cells_[static_cast<std::size_t>(actual) * k +
+                static_cast<std::size_t>(predicted)];
+}
+
+std::uint64_t ConfusionMatrix::total() const {
+  std::uint64_t t = 0;
+  for (const auto c : cells_) t += c;
+  return t;
+}
+
+std::uint64_t ConfusionMatrix::correct() const {
+  std::uint64_t t = 0;
+  const auto k = class_names_.size();
+  for (std::size_t i = 0; i < k; ++i) t += cells_[i * k + i];
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::uint64_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(correct()) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::false_positive_rate(int class_index) const {
+  const auto k = static_cast<int>(class_names_.size());
+  std::uint64_t fp = 0, negatives = 0;
+  for (int a = 0; a < k; ++a) {
+    if (a == class_index) continue;
+    for (int p = 0; p < k; ++p) {
+      negatives += at(a, p);
+      if (p == class_index) fp += at(a, p);
+    }
+  }
+  return negatives == 0
+             ? 0.0
+             : static_cast<double>(fp) / static_cast<double>(negatives);
+}
+
+double ConfusionMatrix::recall(int class_index) const {
+  const auto k = static_cast<int>(class_names_.size());
+  std::uint64_t tp = at(class_index, class_index), actual = 0;
+  for (int p = 0; p < k; ++p) actual += at(class_index, p);
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::precision(int class_index) const {
+  const auto k = static_cast<int>(class_names_.size());
+  std::uint64_t tp = at(class_index, class_index), predicted = 0;
+  for (int a = 0; a < k; ++a) predicted += at(a, class_index);
+  return predicted == 0
+             ? 0.0
+             : static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  const auto k = static_cast<int>(class_names_.size());
+  std::size_t w = 8;
+  for (const auto& n : class_names_) w = std::max(w, n.size() + 2);
+  os << std::setw(static_cast<int>(w)) << "actual\\pred";
+  for (const auto& n : class_names_)
+    os << std::setw(static_cast<int>(w)) << n;
+  os << '\n';
+  for (int a = 0; a < k; ++a) {
+    os << std::setw(static_cast<int>(w))
+       << class_names_[static_cast<std::size_t>(a)];
+    for (int p = 0; p < k; ++p)
+      os << std::setw(static_cast<int>(w)) << at(a, p);
+    os << '\n';
+  }
+  return os.str();
+}
+
+CrossValidationResult cross_validate(const Classifier& prototype,
+                                     const Dataset& data, std::size_t k,
+                                     util::Rng& rng) {
+  const auto folds = data.stratified_folds(k, rng);
+  CrossValidationResult result{ConfusionMatrix(data.class_names()), 0.0, {}};
+
+  for (std::size_t f = 0; f < k; ++f) {
+    std::vector<std::size_t> train_idx;
+    for (std::size_t g = 0; g < k; ++g)
+      if (g != f)
+        train_idx.insert(train_idx.end(), folds[g].begin(), folds[g].end());
+
+    const Dataset train_set = data.subset(train_idx);
+    const Dataset test_set = data.subset(folds[f]);
+    auto model = prototype.make_untrained();
+    model->train(train_set);
+
+    ConfusionMatrix fold_cm(data.class_names());
+    for (const Instance& inst : test_set.instances())
+      fold_cm.record(inst.y, model->predict(inst.x));
+    result.fold_accuracy.push_back(fold_cm.accuracy());
+    result.confusion.merge(fold_cm);
+  }
+  result.accuracy = result.confusion.accuracy();
+  return result;
+}
+
+ConfusionMatrix evaluate_on(const Classifier& trained, const Dataset& test) {
+  ConfusionMatrix cm(test.class_names());
+  for (const Instance& inst : test.instances())
+    cm.record(inst.y, trained.predict(inst.x));
+  return cm;
+}
+
+}  // namespace fsml::ml

@@ -1,0 +1,59 @@
+// Model evaluation: confusion matrices and Weka-style stratified k-fold
+// cross-validation (the paper's Table 4 reports stratified 10-fold CV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace fsml::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::vector<std::string> class_names);
+
+  void record(int actual, int predicted);
+  void merge(const ConfusionMatrix& other);
+
+  std::uint64_t at(int actual, int predicted) const;
+  std::uint64_t total() const;
+  std::uint64_t correct() const;
+  double accuracy() const;
+
+  /// Predicted-as-`predicted` among actual-not-`predicted` over all
+  /// actual-not-`predicted` — per-class false-positive rate.
+  double false_positive_rate(int class_index) const;
+  double recall(int class_index) const;
+  double precision(int class_index) const;
+
+  std::size_t num_classes() const { return class_names_.size(); }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  /// Paper-style rendering (actual rows, predicted columns).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> class_names_;
+  std::vector<std::uint64_t> cells_;  // actual * k + predicted
+};
+
+struct CrossValidationResult {
+  ConfusionMatrix confusion;
+  double accuracy = 0.0;
+  std::vector<double> fold_accuracy;
+};
+
+/// Stratified k-fold CV: trains a fresh copy of `prototype` per fold on the
+/// other k-1 folds and scores on the held-out fold.
+CrossValidationResult cross_validate(const Classifier& prototype,
+                                     const Dataset& data, std::size_t k,
+                                     util::Rng& rng);
+
+/// Resubstitution evaluation (train == test), for sanity checks.
+ConfusionMatrix evaluate_on(const Classifier& trained, const Dataset& test);
+
+}  // namespace fsml::ml

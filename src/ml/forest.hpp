@@ -1,0 +1,48 @@
+// Random forest of C4.5 trees (bagging + per-tree attribute subsampling).
+// Included in the classifier-comparison ablation; not used by the paper's
+// final pipeline, which picked plain J48.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/c45.hpp"
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace fsml::ml {
+
+struct ForestParams {
+  std::size_t num_trees = 25;
+  /// Attributes sampled per tree; 0 = ceil(sqrt(num_attributes)).
+  std::size_t attributes_per_tree = 0;
+  std::uint64_t seed = 1;
+  C45Params tree_params{.prune = false};  // forests use unpruned trees
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestParams params = {});
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> distribution(std::span<const double> x) const override;
+  std::string describe() const override;
+  std::string name() const override { return "RandomForest"; }
+  std::unique_ptr<Classifier> make_untrained() const override;
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Member {
+    C45Tree tree;
+    std::vector<std::size_t> attributes;  ///< projected attribute indices
+    Member(C45Tree t, std::vector<std::size_t> a)
+        : tree(std::move(t)), attributes(std::move(a)) {}
+  };
+
+  ForestParams params_;
+  std::vector<Member> trees_;
+};
+
+}  // namespace fsml::ml

@@ -1,0 +1,25 @@
+// Dataset serialization: CSV (read/write) and ARFF (write) — ARFF being
+// Weka's native format, so collected training data can be loaded into the
+// actual Weka J48 for an external cross-check.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace fsml::ml {
+
+/// CSV layout: header "attr1,...,attrN,class"; one instance per row with
+/// the class written by name.
+void write_csv(const Dataset& data, std::ostream& os);
+
+/// Reads the CSV layout produced by write_csv. Class names are taken from
+/// `class_names` (rows with unknown classes raise).
+Dataset read_csv(std::istream& is, const std::vector<std::string>& class_names);
+
+/// Weka ARFF with numeric attributes and a nominal class.
+void write_arff(const Dataset& data, const std::string& relation,
+                std::ostream& os);
+
+}  // namespace fsml::ml

@@ -1,0 +1,92 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::ml {
+
+void KnnClassifier::train(const Dataset& data) {
+  FSML_CHECK_MSG(!data.empty(), "cannot train on an empty dataset");
+  FSML_CHECK_MSG(k_ >= 1, "k must be positive");
+  trained_num_classes_ = data.num_classes();
+  const std::size_t num_attrs = data.num_attributes();
+
+  mean_.assign(num_attrs, 0.0);
+  stdev_.assign(num_attrs, 0.0);
+  for (const Instance& inst : data.instances())
+    for (std::size_t a = 0; a < num_attrs; ++a) mean_[a] += inst.x[a];
+  for (double& m : mean_) m /= static_cast<double>(data.size());
+  for (const Instance& inst : data.instances())
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      const double d = inst.x[a] - mean_[a];
+      stdev_[a] += d * d;
+    }
+  for (double& s : stdev_) {
+    s = std::sqrt(s / static_cast<double>(data.size()));
+    if (s < 1e-12) s = 1.0;  // constant attribute: contributes nothing
+  }
+
+  train_set_.clear();
+  train_set_.reserve(data.size());
+  for (const Instance& inst : data.instances())
+    train_set_.push_back(Instance{standardize(inst.x), inst.y});
+}
+
+std::vector<double> KnnClassifier::standardize(
+    std::span<const double> x) const {
+  std::vector<double> z(x.size());
+  for (std::size_t a = 0; a < x.size(); ++a)
+    z[a] = (x[a] - mean_[a]) / stdev_[a];
+  return z;
+}
+
+std::vector<double> KnnClassifier::distribution(
+    std::span<const double> x) const {
+  FSML_CHECK_MSG(!train_set_.empty(), "KnnClassifier is not trained");
+  const std::vector<double> z = standardize(x);
+
+  std::vector<std::pair<double, int>> dist;  // (distance^2, class)
+  dist.reserve(train_set_.size());
+  for (const Instance& inst : train_set_) {
+    double d2 = 0.0;
+    for (std::size_t a = 0; a < z.size(); ++a) {
+      const double d = z[a] - inst.x[a];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, inst.y);
+  }
+  const std::size_t k = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<double> votes(trained_num_classes_, 0.0);
+  for (std::size_t i = 0; i < k; ++i)
+    votes[static_cast<std::size_t>(dist[i].second)] += 1.0;
+  for (double& v : votes) v /= static_cast<double>(k);
+  return votes;
+}
+
+int KnnClassifier::predict(std::span<const double> x) const {
+  const auto votes = distribution(x);
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+std::string KnnClassifier::describe() const {
+  std::ostringstream os;
+  os << k_ << "-NN over " << train_set_.size()
+     << " standardized training instances\n";
+  return os.str();
+}
+
+std::string KnnClassifier::name() const {
+  return std::to_string(k_) + "-NN";
+}
+
+std::unique_ptr<Classifier> KnnClassifier::make_untrained() const {
+  return std::make_unique<KnnClassifier>(k_);
+}
+
+}  // namespace fsml::ml

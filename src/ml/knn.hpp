@@ -1,0 +1,33 @@
+// k-nearest-neighbours with per-attribute z-score normalization (IB1/IBk
+// style) — another comparison classifier for the paper's Section-3 claim.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace fsml::ml {
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 3) : k_(k) {}
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> distribution(std::span<const double> x) const override;
+  std::string describe() const override;
+  std::string name() const override;
+  std::unique_ptr<Classifier> make_untrained() const override;
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::vector<double> standardize(std::span<const double> x) const;
+
+  std::size_t k_;
+  std::vector<Instance> train_set_;  // standardized copies
+  std::vector<double> mean_;
+  std::vector<double> stdev_;
+};
+
+}  // namespace fsml::ml

@@ -1,0 +1,98 @@
+#include "ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::ml {
+
+namespace {
+// Variance floor keeps degenerate (constant) attributes from producing
+// infinite densities; normalized event counts can legally be all-zero.
+constexpr double kVarianceFloor = 1e-12;
+}  // namespace
+
+void NaiveBayes::train(const Dataset& data) {
+  FSML_CHECK_MSG(!data.empty(), "cannot train on an empty dataset");
+  const std::size_t num_classes = data.num_classes();
+  const std::size_t num_attrs = data.num_attributes();
+  trained_num_classes_ = num_classes;
+  class_names_ = data.class_names();
+
+  const auto counts = data.class_counts();
+  log_prior_.assign(num_classes, 0.0);
+  mean_.assign(num_classes, std::vector<double>(num_attrs, 0.0));
+  variance_.assign(num_classes, std::vector<double>(num_attrs, 0.0));
+
+  for (const Instance& inst : data.instances()) {
+    auto& m = mean_[static_cast<std::size_t>(inst.y)];
+    for (std::size_t a = 0; a < num_attrs; ++a) m[a] += inst.x[a];
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    // Laplace-smoothed class prior.
+    log_prior_[c] = std::log(
+        (static_cast<double>(counts[c]) + 1.0) /
+        (static_cast<double>(data.size()) + static_cast<double>(num_classes)));
+    if (counts[c] == 0) continue;
+    for (double& m : mean_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (const Instance& inst : data.instances()) {
+    const auto c = static_cast<std::size_t>(inst.y);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      const double d = inst.x[a] - mean_[c][a];
+      variance_[c][a] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    for (double& v : variance_[c]) {
+      if (counts[c] > 1) v /= static_cast<double>(counts[c] - 1);
+      v = std::max(v, kVarianceFloor);
+    }
+  }
+}
+
+std::vector<double> NaiveBayes::distribution(std::span<const double> x) const {
+  FSML_CHECK_MSG(trained_num_classes_ > 0, "NaiveBayes is not trained");
+  std::vector<double> log_post(trained_num_classes_);
+  for (std::size_t c = 0; c < trained_num_classes_; ++c) {
+    double lp = log_prior_[c];
+    for (std::size_t a = 0; a < x.size(); ++a) {
+      const double v = variance_[c][a];
+      const double d = x[a] - mean_[c][a];
+      lp += -0.5 * (std::log(2 * M_PI * v) + d * d / v);
+    }
+    log_post[c] = lp;
+  }
+  const double mx = *std::max_element(log_post.begin(), log_post.end());
+  double sum = 0.0;
+  std::vector<double> dist(trained_num_classes_);
+  for (std::size_t c = 0; c < trained_num_classes_; ++c) {
+    dist[c] = std::exp(log_post[c] - mx);
+    sum += dist[c];
+  }
+  for (double& d : dist) d /= sum;
+  return dist;
+}
+
+int NaiveBayes::predict(std::span<const double> x) const {
+  const auto dist = distribution(x);
+  return static_cast<int>(std::distance(
+      dist.begin(), std::max_element(dist.begin(), dist.end())));
+}
+
+std::string NaiveBayes::describe() const {
+  std::ostringstream os;
+  os << "Gaussian naive Bayes over " << mean_.empty() << " classes\n";
+  for (std::size_t c = 0; c < class_names_.size(); ++c)
+    os << "  class " << class_names_[c]
+       << " log-prior=" << log_prior_[c] << '\n';
+  return os.str();
+}
+
+std::unique_ptr<Classifier> NaiveBayes::make_untrained() const {
+  return std::make_unique<NaiveBayes>();
+}
+
+}  // namespace fsml::ml

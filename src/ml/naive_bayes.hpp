@@ -1,0 +1,28 @@
+// Gaussian naive Bayes — one of the "several classifiers available in the
+// public domain" the paper experimented with before settling on J48
+// (Section 3). Kept as a comparison point for the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace fsml::ml {
+
+class NaiveBayes final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::vector<double> distribution(std::span<const double> x) const override;
+  std::string describe() const override;
+  std::string name() const override { return "NaiveBayes (Gaussian)"; }
+  std::unique_ptr<Classifier> make_untrained() const override;
+
+ private:
+  std::vector<double> log_prior_;                 // [class]
+  std::vector<std::vector<double>> mean_;         // [class][attribute]
+  std::vector<std::vector<double>> variance_;     // [class][attribute]
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace fsml::ml

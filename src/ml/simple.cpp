@@ -1,0 +1,87 @@
+#include "ml/simple.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fsml::ml {
+
+void ZeroR::train(const Dataset& data) {
+  FSML_CHECK_MSG(!data.empty(), "cannot train on an empty dataset");
+  trained_num_classes_ = data.num_classes();
+  majority_ = data.majority_class();
+  majority_name_ = data.class_name(majority_);
+}
+
+int ZeroR::predict(std::span<const double>) const { return majority_; }
+
+std::string ZeroR::describe() const {
+  return "ZeroR: always predict '" + majority_name_ + "'\n";
+}
+
+std::unique_ptr<Classifier> ZeroR::make_untrained() const {
+  return std::make_unique<ZeroR>();
+}
+
+void DecisionStump::train(const Dataset& data) {
+  FSML_CHECK_MSG(!data.empty(), "cannot train on an empty dataset");
+  trained_num_classes_ = data.num_classes();
+  const std::size_t num_classes = data.num_classes();
+  const std::size_t n = data.size();
+
+  std::size_t best_correct = 0;
+  std::vector<std::size_t> sorted(n);
+  for (std::size_t a = 0; a < data.num_attributes(); ++a) {
+    for (std::size_t i = 0; i < n; ++i) sorted[i] = i;
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t i, std::size_t j) {
+      return data.at(i).x[a] < data.at(j).x[a];
+    });
+    std::vector<std::size_t> left(num_classes, 0);
+    std::vector<std::size_t> right(num_classes, 0);
+    for (const Instance& inst : data.instances())
+      ++right[static_cast<std::size_t>(inst.y)];
+    for (std::size_t pos = 0; pos + 1 < n; ++pos) {
+      const Instance& cur = data.at(sorted[pos]);
+      ++left[static_cast<std::size_t>(cur.y)];
+      --right[static_cast<std::size_t>(cur.y)];
+      const double next_val = data.at(sorted[pos + 1]).x[a];
+      if (cur.x[a] == next_val) continue;
+      const auto lbest = std::max_element(left.begin(), left.end());
+      const auto rbest = std::max_element(right.begin(), right.end());
+      const std::size_t correct = *lbest + *rbest;
+      if (correct > best_correct) {
+        best_correct = correct;
+        attribute_ = a;
+        threshold_ = 0.5 * (cur.x[a] + next_val);
+        left_class_ = static_cast<int>(std::distance(left.begin(), lbest));
+        right_class_ = static_cast<int>(std::distance(right.begin(), rbest));
+        attribute_name_ = data.attribute_names()[a];
+      }
+    }
+  }
+  if (best_correct == 0) {
+    // Degenerate data (all attribute values identical): act like ZeroR.
+    left_class_ = right_class_ = data.majority_class();
+    attribute_name_ = data.attribute_names()[0];
+  }
+}
+
+int DecisionStump::predict(std::span<const double> x) const {
+  FSML_CHECK_MSG(trained_num_classes_ > 0, "DecisionStump is not trained");
+  return x[attribute_] <= threshold_ ? left_class_ : right_class_;
+}
+
+std::string DecisionStump::describe() const {
+  std::ostringstream os;
+  os << "stump: " << attribute_name_ << " <= " << threshold_ << " -> class "
+     << left_class_ << ", else class " << right_class_ << '\n';
+  return os.str();
+}
+
+std::unique_ptr<Classifier> DecisionStump::make_untrained() const {
+  return std::make_unique<DecisionStump>();
+}
+
+}  // namespace fsml::ml

@@ -1,0 +1,43 @@
+// Baseline classifiers: ZeroR (majority class) and OneR-style decision
+// stump (best single-attribute threshold). These anchor the ablation bench:
+// any useful event set must beat ZeroR, and the stump shows how far one
+// event alone (e.g. HITM) gets.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace fsml::ml {
+
+class ZeroR final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string describe() const override;
+  std::string name() const override { return "ZeroR"; }
+  std::unique_ptr<Classifier> make_untrained() const override;
+
+ private:
+  int majority_ = 0;
+  std::string majority_name_;
+};
+
+class DecisionStump final : public Classifier {
+ public:
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string describe() const override;
+  std::string name() const override { return "OneR-stump"; }
+  std::unique_ptr<Classifier> make_untrained() const override;
+
+  std::size_t attribute() const { return attribute_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  std::size_t attribute_ = 0;
+  double threshold_ = 0.0;
+  int left_class_ = 0;   ///< prediction for x[attr] <= threshold
+  int right_class_ = 0;  ///< prediction for x[attr] > threshold
+  std::string attribute_name_;
+};
+
+}  // namespace fsml::ml

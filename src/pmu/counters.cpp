@@ -1,0 +1,55 @@
+#include "pmu/counters.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::pmu {
+
+CounterSnapshot CounterSnapshot::from_raw(const sim::RawCounters& raw) {
+  CounterSnapshot snapshot;
+  for (const EventInfo& info : westmere_event_table())
+    snapshot.set(info.id, raw.get(info.raw));
+  return snapshot;
+}
+
+FeatureVector FeatureVector::normalize(const CounterSnapshot& snapshot) {
+  const std::uint64_t instructions = snapshot.instructions();
+  FSML_CHECK_MSG(instructions > 0,
+                 "cannot normalize a snapshot with zero instructions");
+  FeatureVector fv;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    const auto e = static_cast<WestmereEvent>(i);
+    fv.values_[i] = static_cast<double>(snapshot.get(e)) /
+                    static_cast<double>(instructions);
+  }
+  return fv;
+}
+
+std::vector<std::string> FeatureVector::feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kNumFeatures);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    const EventInfo& info = event_info(static_cast<WestmereEvent>(i));
+    std::ostringstream os;
+    os << "ev" << (i < 9 ? "0" : "") << (i + 1) << '_' << info.name;
+    names.push_back(os.str());
+  }
+  return names;
+}
+
+std::vector<double> normalize_raw(const sim::RawCounters& raw,
+                                  const std::vector<sim::RawEvent>& events) {
+  const std::uint64_t instructions =
+      raw.get(sim::RawEvent::kInstructionsRetired);
+  FSML_CHECK_MSG(instructions > 0,
+                 "cannot normalize counters with zero instructions");
+  std::vector<double> out;
+  out.reserve(events.size());
+  for (const sim::RawEvent e : events)
+    out.push_back(static_cast<double>(raw.get(e)) /
+                  static_cast<double>(instructions));
+  return out;
+}
+
+}  // namespace fsml::pmu

@@ -1,0 +1,73 @@
+// Counter snapshots and normalized feature vectors.
+//
+// A CounterSnapshot is what "reading the PMU" yields after a program run:
+// the 16 Table-2 event counts aggregated over all cores. A FeatureVector is
+// the paper's input representation for the classifier: events 1..15 divided
+// by event 16 (Instructions_Retired), which makes counts comparable across
+// programs of different lengths.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmu/events.hpp"
+#include "sim/raw_events.hpp"
+
+namespace fsml::pmu {
+
+class CounterSnapshot {
+ public:
+  /// Reads the 16 architectural events out of an (aggregated) raw bank.
+  static CounterSnapshot from_raw(const sim::RawCounters& raw);
+
+  std::uint64_t get(WestmereEvent e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+  void set(WestmereEvent e, std::uint64_t v) {
+    counts_[static_cast<std::size_t>(e)] = v;
+  }
+
+  std::uint64_t instructions() const {
+    return get(WestmereEvent::kInstructionsRetired);
+  }
+
+ private:
+  std::array<std::uint64_t, kNumWestmereEvents> counts_{};
+};
+
+/// Number of normalized features (events 1..15; event 16 normalizes).
+constexpr std::size_t kNumFeatures = kNumWestmereEvents - 1;
+
+class FeatureVector {
+ public:
+  FeatureVector() = default;
+
+  /// counts[e] / instructions for the first 15 events.
+  static FeatureVector normalize(const CounterSnapshot& snapshot);
+
+  double get(WestmereEvent e) const {
+    const auto i = static_cast<std::size_t>(e);
+    return i < kNumFeatures ? values_[i] : 1.0;  // event 16 / itself
+  }
+  double at(std::size_t i) const { return values_.at(i); }
+  void set(std::size_t i, double v) { values_.at(i) = v; }
+
+  const std::array<double, kNumFeatures>& values() const { return values_; }
+
+  /// Stable names ("ev01_L2_Data_Requests...") used as ML attribute names
+  /// and CSV headers.
+  static std::vector<std::string> feature_names();
+
+ private:
+  std::array<double, kNumFeatures> values_{};
+};
+
+/// Normalizes an arbitrary set of raw counters by retired instructions.
+/// Used by the event-selection experiment, which works on the full
+/// candidate list rather than the 16 selected events.
+std::vector<double> normalize_raw(const sim::RawCounters& raw,
+                                  const std::vector<sim::RawEvent>& events);
+
+}  // namespace fsml::pmu

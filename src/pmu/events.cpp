@@ -1,0 +1,81 @@
+#include "pmu/events.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace fsml::pmu {
+
+namespace {
+
+using sim::RawEvent;
+
+constexpr std::array<EventInfo, kNumWestmereEvents> kTable = {{
+    {WestmereEvent::kL2DataRequestsDemandI, 0x26, 0x01,
+     "L2_Data_Requests.Demand.I_state", RawEvent::kL2DemandIState},
+    {WestmereEvent::kL2WriteRfoS, 0x27, 0x02, "L2_Write.RFO.S_state",
+     RawEvent::kL2RfoHitS},
+    {WestmereEvent::kL2RequestsLdMiss, 0x24, 0x02, "L2_Requests.LD_MISS",
+     RawEvent::kL2LdMiss},
+    {WestmereEvent::kResourceStallsStore, 0xA2, 0x08, "Resource_Stalls.Store",
+     RawEvent::kStoreBufferStallCycles},
+    {WestmereEvent::kOffcoreDemandRdData, 0xB0, 0x01,
+     "Offcore_Requests.Demand_RD_Data", RawEvent::kOffcoreDemandRdData},
+    {WestmereEvent::kL2TransactionsFill, 0xF0, 0x20, "L2_Transactions.FILL",
+     RawEvent::kL2Fill},
+    {WestmereEvent::kL2LinesInS, 0xF1, 0x02, "L2_Lines_In.S_state",
+     RawEvent::kL2LinesInS},
+    {WestmereEvent::kL2LinesOutDemandClean, 0xF2, 0x01,
+     "L2_Lines_Out.Demand_Clean", RawEvent::kL2LinesOutDemandClean},
+    {WestmereEvent::kSnoopResponseHit, 0xB8, 0x01, "Snoop_Response.HIT",
+     RawEvent::kSnoopResponseHit},
+    {WestmereEvent::kSnoopResponseHitE, 0xB8, 0x02, "Snoop_Response.HIT_E",
+     RawEvent::kSnoopResponseHitE},
+    {WestmereEvent::kSnoopResponseHitM, 0xB8, 0x04, "Snoop_Response.HIT_M",
+     RawEvent::kSnoopResponseHitM},
+    {WestmereEvent::kMemLoadRetdHitLfb, 0xCB, 0x40, "Mem_Load_Retd.HIT_LFB",
+     RawEvent::kL1dHitLfb},
+    {WestmereEvent::kDtlbMisses, 0x49, 0x01, "DTLB_Misses",
+     RawEvent::kDtlbMiss},
+    {WestmereEvent::kL1dCacheReplacements, 0x51, 0x01,
+     "L1D_Cache_Replacements", RawEvent::kL1dReplacement},
+    {WestmereEvent::kResourceStallsLoads, 0xA2, 0x02, "Resource_Stalls.Loads",
+     RawEvent::kLoadStallCycles},
+    {WestmereEvent::kInstructionsRetired, 0xC0, 0x00, "Instructions_Retired",
+     RawEvent::kInstructionsRetired},
+}};
+
+}  // namespace
+
+std::span<const EventInfo> westmere_event_table() { return kTable; }
+
+const EventInfo& event_info(WestmereEvent e) {
+  const auto i = static_cast<std::size_t>(e);
+  FSML_CHECK(i < kNumWestmereEvents);
+  return kTable[i];
+}
+
+const EventInfo& event_by_number(int table_number) {
+  FSML_CHECK_MSG(table_number >= 1 &&
+                     table_number <= static_cast<int>(kNumWestmereEvents),
+                 "Table-2 event numbers are 1..16");
+  return kTable[static_cast<std::size_t>(table_number - 1)];
+}
+
+std::vector<sim::RawEvent> candidate_events() {
+  std::vector<sim::RawEvent> events;
+  events.reserve(sim::kNumRawEvents);
+  for (std::size_t i = 0; i < sim::kNumRawEvents; ++i) {
+    const auto e = static_cast<sim::RawEvent>(i);
+    // Exclude counters with no hardware-PMU equivalent or that are pure
+    // normalizers: retired-instruction and cycle counts are handled
+    // separately (the paper adds Instructions_Retired explicitly as the
+    // normalizing event, not as a candidate signal).
+    if (e == sim::RawEvent::kInstructionsRetired) continue;
+    if (e == sim::RawEvent::kCyclesTotal) continue;
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace fsml::pmu

@@ -1,0 +1,67 @@
+// Architectural performance events of the modelled Westmere-DP PMU.
+//
+// Table 2 of the paper lists the 16 events its classifier consumes; this
+// header defines them (with the paper's event/umask codes) plus the mapping
+// from the simulator's raw micro-event counters. The *candidate* list the
+// Section-2.3 selection procedure searches is the full raw-counter set — on
+// real hardware it was "60-70 events from the SDM"; here it is every
+// counter the simulated PMU exposes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/raw_events.hpp"
+
+namespace fsml::pmu {
+
+/// The 16 selected events of the paper's Table 2, in table order.
+enum class WestmereEvent : std::uint8_t {
+  kL2DataRequestsDemandI,   // 26/01  L2 Data Requests.Demand."I" state
+  kL2WriteRfoS,             // 27/02  L2 Write.RFO."S" state
+  kL2RequestsLdMiss,        // 24/02  L2_Requests.LD_MISS
+  kResourceStallsStore,     // A2/08  Resource_Stalls.Store
+  kOffcoreDemandRdData,     // B0/01  Offcore_Requests.Demand_RD_Data
+  kL2TransactionsFill,      // F0/20  L2_Transactions.FILL
+  kL2LinesInS,              // F1/02  L2_Lines_In."S" state
+  kL2LinesOutDemandClean,   // F2/01  L2_Lines_Out.Demand_Clean
+  kSnoopResponseHit,        // B8/01  Snoop_Response.HIT
+  kSnoopResponseHitE,       // B8/02  Snoop_Response.HIT "E"
+  kSnoopResponseHitM,       // B8/04  Snoop_Response.HIT "M"
+  kMemLoadRetdHitLfb,       // CB/40  Mem_Load_Retd.HIT_LFB
+  kDtlbMisses,              // 49/01  DTLB_Misses
+  kL1dCacheReplacements,    // 51/01  L1D-Cache Replacements
+  kResourceStallsLoads,     // A2/02  Resource_Stalls.Loads
+  kInstructionsRetired,     // C0/00  Instructions_Retired
+  kNumEvents,
+};
+
+constexpr std::size_t kNumWestmereEvents =
+    static_cast<std::size_t>(WestmereEvent::kNumEvents);
+
+struct EventInfo {
+  WestmereEvent id;
+  std::uint16_t event_code;  ///< Intel event select code (hex in Table 2)
+  std::uint16_t umask;       ///< unit mask
+  std::string_view name;     ///< Table-2 description
+  sim::RawEvent raw;         ///< simulator counter it is derived from
+};
+
+/// Table 2, in order (index = paper's "Event #" - 1).
+std::span<const EventInfo> westmere_event_table();
+
+const EventInfo& event_info(WestmereEvent e);
+
+/// Finds an event by its Table-2 "Event #" (1-based).
+const EventInfo& event_by_number(int table_number);
+
+/// The candidate list for the Section-2.3 selection procedure: every raw
+/// simulator counter that a real PMU could plausibly expose (all of them,
+/// minus pure-bookkeeping counters that have no hardware equivalent).
+std::vector<sim::RawEvent> candidate_events();
+
+}  // namespace fsml::pmu

@@ -1,0 +1,96 @@
+// Real-hardware counter collection via Linux perf_event_open(2) — the
+// collection path the paper used (PAPI/perf on the Westmere machine), for
+// running this library outside the simulator.
+//
+// The paper's methodology is explicitly per-platform: steps 2-6 (identify
+// events, collect, label, train) are repeated on each new machine. This
+// backend implements the *collection* step on whatever machine the library
+// runs on:
+//
+//   fsml::pmu::PerfCounterGroup group(fsml::pmu::generic_event_specs());
+//   if (group.ok()) {
+//     group.start();
+//     run_workload();
+//     const auto counts = group.stop();   // scaled for multiplexing
+//   }
+//
+// Event mapping: exact Table-2 raw event/umask codes are only valid on
+// Westmere; `westmere_event_specs()` emits them for a genuine Westmere part
+// (raw type), while `generic_event_specs()` maps each Table-2 event to the
+// closest portable perf generic/cache event so the pipeline runs anywhere
+// (with reduced fidelity — generic kernels expose no HITM-precise event;
+// retraining on the target machine is required, exactly as the paper says).
+//
+// Everything degrades gracefully: in sandboxes/containers without
+// perf_event access, available() is false and ok() groups refuse to start.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pmu/counters.hpp"
+#include "pmu/events.hpp"
+
+namespace fsml::pmu {
+
+/// One perf_event_attr-level event description.
+struct PerfEventSpec {
+  WestmereEvent id{};        ///< which Table-2 slot this measures
+  std::uint32_t type = 0;    ///< PERF_TYPE_* value
+  std::uint64_t config = 0;  ///< event-specific config
+  std::string label;         ///< for diagnostics
+};
+
+/// True when this process may open performance counters at all
+/// (perf_event_open exists and perf_event_paranoid permits self-profiling).
+bool perf_available();
+
+/// Best-effort portable mapping of the paper's 16 events onto perf generic
+/// hardware/cache events. Events with no portable analogue are omitted;
+/// their feature slots read as zero.
+std::vector<PerfEventSpec> generic_event_specs();
+
+/// The exact Table-2 raw codes (event | umask<<8) for a real Westmere-DP
+/// part, as PERF_TYPE_RAW events.
+std::vector<PerfEventSpec> westmere_event_specs();
+
+/// A group of counters measuring the calling process (all threads,
+/// inherit). Kernel-side multiplexing is compensated by
+/// time_enabled/time_running scaling on read.
+class PerfCounterGroup {
+ public:
+  explicit PerfCounterGroup(std::vector<PerfEventSpec> specs);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when every requested event opened successfully.
+  bool ok() const { return ok_; }
+  /// Events that failed to open (diagnostics).
+  const std::vector<std::string>& failures() const { return failures_; }
+
+  void start();
+  /// Stops counting and returns the (multiplex-scaled) snapshot.
+  CounterSnapshot stop();
+
+  /// Convenience: measure one callable. Returns ok() && counts.
+  static bool measure(const std::vector<PerfEventSpec>& specs,
+                      const std::function<void()>& work,
+                      CounterSnapshot* out);
+
+ private:
+  struct OpenCounter {
+    PerfEventSpec spec;
+    int fd = -1;
+  };
+
+  std::vector<OpenCounter> counters_;
+  std::vector<std::string> failures_;
+  bool ok_ = false;
+  bool running_ = false;
+};
+
+}  // namespace fsml::pmu

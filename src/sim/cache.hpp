@@ -1,0 +1,77 @@
+// Set-associative tag store with true-LRU replacement and per-line MESI
+// state. Used for both private levels (L1D, L2) and the shared L3.
+//
+// The store is tags-only: the simulator models coherence and timing, not
+// data values (kernels compute on host values and drive the simulator with
+// their access streams).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "sim/types.hpp"
+
+namespace fsml::sim {
+
+/// A line evicted to make room for a fill.
+struct Eviction {
+  Addr line_addr = 0;
+  MesiState state = MesiState::kInvalid;  ///< state at eviction time
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheGeometry geometry);
+
+  const CacheGeometry& geometry() const { return geometry_; }
+
+  /// State of the line containing `addr`, or kInvalid if absent.
+  MesiState state_of(Addr addr) const;
+
+  bool contains(Addr addr) const {
+    return state_of(addr) != MesiState::kInvalid;
+  }
+
+  /// Looks up and, on hit, promotes the line to MRU. Returns state.
+  MesiState touch(Addr addr);
+
+  /// Inserts (or re-states) the line in `state`, evicting the LRU way if the
+  /// set is full. Returns the eviction, if one happened.
+  std::optional<Eviction> fill(Addr addr, MesiState state);
+
+  /// Changes the state of a resident line (hit required).
+  void set_state(Addr addr, MesiState state);
+
+  /// Removes the line if present; returns its prior state.
+  MesiState invalidate(Addr addr);
+
+  /// Number of valid lines currently resident (for tests/invariants).
+  std::size_t occupancy() const;
+
+  /// Visits every valid line (for inclusion checks in tests).
+  void for_each_line(
+      const std::function<void(Addr, MesiState)>& visit) const;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    MesiState state = MesiState::kInvalid;
+    std::uint64_t lru_stamp = 0;  ///< larger = more recently used
+  };
+
+  struct Set {
+    std::vector<Way> ways;
+  };
+
+  Way* find(Addr addr);
+  const Way* find(Addr addr) const;
+
+  CacheGeometry geometry_;
+  std::vector<Set> sets_;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace fsml::sim

@@ -1,0 +1,60 @@
+// Latency model of the simulated machine, in core cycles.
+//
+// Values approximate the Westmere-DP numbers from Intel's performance
+// analysis guide (Levinthal 2009): L1 4cy, L2 10cy, L3 ~38cy local,
+// cross-core modified-line transfer ~75cy, DRAM ~200cy. The paper only
+// needs the *ordering* of these costs to hold (coherence transfer >> local
+// hit) for the workload shapes to reproduce.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace fsml::sim {
+
+struct CycleModel {
+  Cycles l1_hit = 4;
+  Cycles lfb_hit = 6;          ///< merge with an in-flight fill
+  Cycles l2_hit = 10;
+  Cycles l3_hit = 38;
+  Cycles peer_clean = 60;      ///< cache-to-cache transfer, clean line
+  Cycles peer_hitm = 75;       ///< cache-to-cache transfer, modified line
+  Cycles dram = 200;
+  /// DRAM channel model: a shared data bus plus `dram_banks` banks, each
+  /// with one open row. A transfer hitting its bank's open row (streaming)
+  /// occupies only the bus; one that opens a new row (random access) also
+  /// holds its bank much longer. Streaming therefore scales to many cores
+  /// (bus-bound) while random traffic saturates on bank activations — the
+  /// bandwidth wall that flattens the paper's Table-1 "bad memory access"
+  /// scaling curve without penalizing well-behaved streams. Multiple banks
+  /// also keep the queueing fair: concurrent streams interleave across
+  /// banks instead of serializing behind one open row.
+  Cycles dram_bus_occupancy = 6;
+  Cycles dram_row_miss_occupancy = 48;
+  std::uint32_t dram_banks = 4;
+  std::uint64_t dram_row_bytes = 4096;
+  Cycles upgrade = 40;         ///< invalidate-only RFO (S->M)
+  /// Extra latency for any transfer that crosses the socket interconnect
+  /// (QPI on Westmere DP). Only used by multi-socket configurations.
+  Cycles qpi_hop = 65;
+  Cycles tlb_walk = 30;        ///< page-walk penalty added on DTLB miss
+  Cycles store_commit = 1;     ///< store retires into the store buffer
+  double compute_cpi = 1.0;    ///< cycles per plain ALU instruction
+
+  Cycles latency_for(ServiceLevel level) const {
+    switch (level) {
+      case ServiceLevel::kL1: return l1_hit;
+      case ServiceLevel::kLfb: return lfb_hit;
+      case ServiceLevel::kL2: return l2_hit;
+      case ServiceLevel::kL3: return l3_hit;
+      case ServiceLevel::kPeerHit: return peer_clean;
+      case ServiceLevel::kPeerHitM: return peer_hitm;
+      case ServiceLevel::kDram: return dram;
+      case ServiceLevel::kUpgrade: return upgrade;
+    }
+    return l1_hit;
+  }
+};
+
+}  // namespace fsml::sim

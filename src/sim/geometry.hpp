@@ -1,0 +1,38 @@
+// Cache geometry: size/associativity/line-size arithmetic shared by all
+// cache levels and the TLB.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "util/check.hpp"
+
+namespace fsml::sim {
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t line_bytes = 64;
+
+  constexpr std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  constexpr std::uint64_t num_sets() const { return num_lines() / ways; }
+
+  void validate() const {
+    FSML_CHECK_MSG(size_bytes > 0 && ways > 0 && line_bytes > 0,
+                   "cache geometry fields must be positive");
+    FSML_CHECK_MSG(std::has_single_bit(static_cast<std::uint64_t>(line_bytes)),
+                   "line size must be a power of two");
+    FSML_CHECK_MSG(size_bytes % (static_cast<std::uint64_t>(ways) * line_bytes) == 0,
+                   "size must be a multiple of ways*line");
+  }
+
+  Addr line_addr(Addr a) const { return a & ~static_cast<Addr>(line_bytes - 1); }
+  // Modulo indexing: real LLCs with non-power-of-two set counts (Westmere's
+  // 12 MiB/16-way L3 has 12288 sets) hash addresses to sets; modulo is the
+  // simplest distribution-preserving stand-in.
+  std::uint64_t set_index(Addr a) const { return (a / line_bytes) % num_sets(); }
+  std::uint64_t tag(Addr a) const { return a / line_bytes / num_sets(); }
+};
+
+}  // namespace fsml::sim

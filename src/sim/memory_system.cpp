@@ -1,0 +1,733 @@
+#include "sim/memory_system.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace fsml::sim {
+
+MemorySystem::MemorySystem(const MachineConfig& config) : config_(config) {
+  config_.validate();
+  nodes_.reserve(config_.num_cores);
+  for (std::uint32_t i = 0; i < config_.num_cores; ++i)
+    nodes_.emplace_back(config_);
+  const std::uint32_t sockets =
+      config_.cores_per_socket == 0
+          ? 1
+          : (config_.num_cores + config_.cores_per_socket - 1) /
+                config_.cores_per_socket;
+  for (std::uint32_t sock = 0; sock < sockets; ++sock)
+    l3s_.emplace_back(config_.l3);
+  dram_banks_.resize(std::max<std::uint32_t>(config_.cycles.dram_banks, 1));
+  dram_demand_banks_.resize(dram_banks_.size());
+}
+
+const RawCounters& MemorySystem::counters(CoreId core) const {
+  FSML_CHECK(core < nodes_.size());
+  return nodes_[core].counters;
+}
+
+RawCounters MemorySystem::aggregate_counters() const {
+  RawCounters total;
+  for (const CoreNode& node : nodes_) total += node.counters;
+  return total;
+}
+
+void MemorySystem::reset_counters() {
+  for (CoreNode& node : nodes_) node.counters.reset();
+}
+
+void MemorySystem::add_observer(AccessObserver* observer) {
+  FSML_CHECK(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void MemorySystem::remove_observer(AccessObserver* observer) {
+  std::erase(observers_, observer);
+}
+
+const Cache& MemorySystem::l1(CoreId core) const {
+  FSML_CHECK(core < nodes_.size());
+  return nodes_[core].l1;
+}
+
+const Cache& MemorySystem::l2(CoreId core) const {
+  FSML_CHECK(core < nodes_.size());
+  return nodes_[core].l2;
+}
+
+void MemorySystem::retire_instructions(CoreId core, std::uint64_t n) {
+  FSML_CHECK(core < nodes_.size());
+  count(core, RawEvent::kInstructionsRetired, n);
+  for (AccessObserver* obs : observers_) obs->on_instructions(core, n);
+}
+
+void MemorySystem::account_cycles(CoreId core, Cycles cycles) {
+  FSML_CHECK(core < nodes_.size());
+  count(core, RawEvent::kCyclesTotal, cycles);
+}
+
+AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
+                                  AccessType type, Cycles now) {
+  FSML_CHECK(core < nodes_.size());
+  FSML_CHECK(size >= 1);
+
+  // One instruction retires per access.
+  count(core, RawEvent::kInstructionsRetired, 1);
+  switch (type) {
+    case AccessType::kLoad:
+      count(core, RawEvent::kLoadsRetired, 1);
+      break;
+    case AccessType::kStore:
+      count(core, RawEvent::kStoresRetired, 1);
+      break;
+    case AccessType::kRmw:
+      count(core, RawEvent::kAtomicsRetired, 1);
+      break;
+  }
+
+  const std::uint32_t line_bytes = config_.l1d.line_bytes;
+  const Addr first_line = config_.l1d.line_addr(addr);
+  const Addr last_line = config_.l1d.line_addr(addr + size - 1);
+
+  AccessResult total{};
+  bool first = true;
+  for (Addr line = first_line; line <= last_line; line += line_bytes) {
+    AccessResult r = access_line(core, line, type, now + total.latency);
+    total.latency += r.latency;
+    total.dtlb_miss = total.dtlb_miss || r.dtlb_miss;
+    if (first || static_cast<int>(r.level) > static_cast<int>(total.level))
+      total.level = r.level;  // report the deepest service level
+    first = false;
+  }
+
+  if (!observers_.empty()) {
+    const AccessRecord record{core, addr, size, type, total.level, now};
+    for (AccessObserver* obs : observers_) obs->on_access(record);
+  }
+  return total;
+}
+
+AccessResult MemorySystem::access_line(CoreId core, Addr line,
+                                       AccessType type, Cycles now) {
+  // A read-modify-write is a load (paying its miss latency synchronously —
+  // the reason `x += v` on a contended line stalls the pipeline) followed
+  // by a store that drains through the store buffer.
+  if (type == AccessType::kRmw) {
+    AccessResult load_part = access_line(core, line, AccessType::kLoad, now);
+    const AccessResult store_part =
+        access_line(core, line, AccessType::kStore, now + load_part.latency);
+    load_part.latency += store_part.latency;
+    load_part.dtlb_miss = load_part.dtlb_miss || store_part.dtlb_miss;
+    if (static_cast<int>(store_part.level) >
+        static_cast<int>(load_part.level))
+      load_part.level = store_part.level;
+    return load_part;
+  }
+
+  CoreNode& node = nodes_[core];
+  const CycleModel& cm = config_.cycles;
+  AccessResult result{};
+
+  // Address translation first; the walk penalty applies to the whole access.
+  if (node.dtlb.access(line)) {
+    count(core, RawEvent::kDtlbHit, 1);
+  } else {
+    count(core, RawEvent::kDtlbMiss, 1);
+    result.dtlb_miss = true;
+    result.latency += cm.tlb_walk;
+  }
+
+  if (type == AccessType::kLoad) {
+    const MesiState s1 = node.l1.touch(line);
+    if (s1 != MesiState::kInvalid) {
+      // Present, but is the fill that brought it still in flight? Then the
+      // load merges with the fill buffer entry rather than hitting L1
+      // proper (MEM_LOAD_RETIRED.HIT_LFB) and waits for the fill.
+      if (const auto completion = node.lfb.pending_fill(line, now)) {
+        count(core, RawEvent::kL1dHitLfb, 1);
+        result.level = ServiceLevel::kLfb;
+        const Cycles wait = *completion > now ? *completion - now : 0;
+        result.latency += std::max<Cycles>(cm.lfb_hit, wait);
+        count(core, RawEvent::kLoadStallCycles,
+              result.latency > cm.l1_hit ? result.latency - cm.l1_hit : 0);
+        return result;
+      }
+      count(core, RawEvent::kL1dLoadHit, 1);
+      count(core, RawEvent::kMemLoadRetiredL1Hit, 1);
+      result.level = ServiceLevel::kL1;
+      result.latency += cm.l1_hit;
+      return result;
+    }
+
+    count(core, RawEvent::kL1dLoadMiss, 1);
+    count(core, RawEvent::kL2DemandRequests, 1);
+    const MesiState s2 = node.l2.touch(line);
+    if (s2 != MesiState::kInvalid) {
+      count(core, RawEvent::kL2Hit, 1);
+      count(core, RawEvent::kMemLoadRetiredL2Hit, 1);
+      fill_private(core, line, s2);  // bring into L1 (L2 state unchanged)
+      result.level = ServiceLevel::kL2;
+      result.latency += cm.l2_hit;
+      // Hits on prefetched lines keep the streamer running ahead.
+      maybe_stream_prefetch(core, line, now, /*allocate=*/false);
+    } else {
+      count(core, RawEvent::kL2DemandIState, 1);
+      count(core, RawEvent::kL2Miss, 1);
+      count(core, RawEvent::kL2LdMiss, 1);
+      count(core, RawEvent::kOffcoreDemandRdData, 1);
+      const LineResult lr =
+          service_request(core, line, /*want_ownership=*/false,
+                          now + result.latency);
+      fill_private(core, line, lr.fill_state);
+      result.level = lr.level;
+      result.latency += cm.latency_for(lr.level) + lr.extra_latency;
+      node.lfb.insert(line, now + result.latency, now);
+      // Prefetches overlap the demand miss: issue them at the demand's
+      // issue time, not after its latency.
+      maybe_stream_prefetch(core, line, now, /*allocate=*/true);
+      switch (lr.level) {
+        case ServiceLevel::kL3:
+          count(core, RawEvent::kMemLoadRetiredL3Hit, 1);
+          break;
+        case ServiceLevel::kDram:
+          count(core, RawEvent::kMemLoadRetiredDram, 1);
+          break;
+        case ServiceLevel::kPeerHit:
+        case ServiceLevel::kPeerHitM:
+          count(core, RawEvent::kMemLoadRetiredPeer, 1);
+          break;
+        default:
+          break;
+      }
+    }
+    count(core, RawEvent::kLoadStallCycles,
+          result.latency > cm.l1_hit ? result.latency - cm.l1_hit : 0);
+    return result;
+  }
+
+  // --- Store / RMW path ----------------------------------------------------
+  // Determine the drain latency (the background cost of obtaining ownership
+  // and writing the line); the core itself only pays commit + stall.
+  Cycles drain_latency = 0;
+  bool fill_lfb = false;
+
+  const MesiState s1 = node.l1.touch(line);
+  if (s1 == MesiState::kModified) {
+    count(core, RawEvent::kL1dStoreHit, 1);
+    result.level = ServiceLevel::kL1;
+    drain_latency = cm.l1_hit;
+  } else if (s1 == MesiState::kExclusive) {
+    count(core, RawEvent::kL1dStoreHit, 1);
+    count(core, RawEvent::kTransEM, 1);
+    node.l1.set_state(line, MesiState::kModified);
+    node.l2.set_state(line, MesiState::kModified);
+    result.level = ServiceLevel::kL1;
+    drain_latency = cm.l1_hit;
+  } else {
+    count(core, RawEvent::kL1dStoreMiss, 1);
+    count(core, RawEvent::kL2DemandRequests, 1);
+    const MesiState s2 = node.l2.touch(line);
+    if (s2 == MesiState::kModified || s2 == MesiState::kExclusive) {
+      count(core, RawEvent::kL2Hit, 1);
+      if (s2 == MesiState::kExclusive) count(core, RawEvent::kTransEM, 1);
+      node.l2.set_state(line, MesiState::kModified);
+      fill_private(core, line, MesiState::kModified);
+      result.level = ServiceLevel::kL2;
+      drain_latency = cm.l2_hit;
+      // Keep a detected RFO stream running ahead.
+      maybe_stream_prefetch(core, line, now, /*allocate=*/false);
+    } else if (s2 == MesiState::kShared) {
+      // Upgrade: we hold the line Shared; invalidate every other holder.
+      count(core, RawEvent::kL2Hit, 1);
+      count(core, RawEvent::kL2RfoHitS, 1);
+      count(core, RawEvent::kRfoUpgrades, 1);
+      count(core, RawEvent::kTransSM, 1);
+      bool remote_sharer = false;
+      for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
+        if (peer == core) continue;
+        if (nodes_[peer].l2.contains(line)) {
+          snoop_peer(peer, line, /*for_ownership=*/true);
+          count(core, RawEvent::kInvalidationsSent, 1);
+          if (socket_of(peer) != socket_of(core)) remote_sharer = true;
+        }
+      }
+      invalidate_other_l3s(socket_of(core), line);
+      node.l2.set_state(line, MesiState::kModified);
+      if (node.l1.contains(line))
+        node.l1.set_state(line, MesiState::kModified);
+      result.level = ServiceLevel::kUpgrade;
+      drain_latency = cm.upgrade;
+      if (remote_sharer) {
+        count(core, RawEvent::kCrossSocketTransfers, 1);
+        drain_latency += cm.qpi_hop;
+      }
+    } else {
+      count(core, RawEvent::kL2DemandIState, 1);
+      count(core, RawEvent::kL2Miss, 1);
+      count(core, RawEvent::kL2StMiss, 1);
+      count(core, RawEvent::kOffcoreRfo, 1);
+      const LineResult lr = service_request(core, line, /*want_ownership=*/true,
+                                            now + result.latency);
+      fill_private(core, line, MesiState::kModified);
+      result.level = lr.level;
+      drain_latency = cm.latency_for(lr.level) + lr.extra_latency;
+      fill_lfb = true;
+      // The streamer also covers RFO streams (streaming writes), so linear
+      // output stores do not pay the full miss chain per line.
+      maybe_stream_prefetch(core, line, now, /*allocate=*/true);
+    }
+  }
+
+  // Store-buffer timing: stall only if the queue is full.
+  node.store_buffer.retire_completed(now);
+  const Cycles stall = node.store_buffer.stall_until_slot(now);
+  if (stall > 0) {
+    count(core, RawEvent::kStoreBufferStallCycles, stall);
+    node.store_buffer.retire_completed(now + stall);
+  }
+  const Cycles completion = node.store_buffer.push(now + stall, drain_latency);
+  if (fill_lfb) node.lfb.insert(line, completion, now);
+  result.latency += cm.store_commit + stall;
+  return result;
+}
+
+void MemorySystem::maybe_stream_prefetch(CoreId core, Addr line, Cycles now,
+                                         bool allocate) {
+  CoreNode& node = nodes_[core];
+  const Addr line_bytes = config_.l1d.line_bytes;
+  // Look-ahead window and burst size. Prefetches are issued in bursts of
+  // consecutive lines so the DRAM bank sees row hits: steady-state
+  // one-line-at-a-time prefetching from many interleaved streams would turn
+  // every transfer into a row activation and saturate the channel.
+  constexpr Addr kPrefetchAhead = 8;
+  constexpr Addr kPrefetchBurst = 4;
+
+  // A demand access continues a stream if it falls just behind (or at) the
+  // stream's prefetch frontier.
+  Addr* frontier = nullptr;
+  for (Addr& next : node.stream_table) {
+    if (next == 0) continue;
+    if (line + line_bytes >= next - kPrefetchAhead * line_bytes &&
+        line < next + line_bytes) {
+      frontier = &next;
+      break;
+    }
+  }
+  if (frontier == nullptr) {
+    if (allocate) {
+      node.stream_table[node.stream_rr] = line + line_bytes;
+      node.stream_rr = (node.stream_rr + 1) % node.stream_table.size();
+    }
+    return;
+  }
+
+  // Hysteresis: refill only when the demand stream has consumed most of the
+  // window, then issue a whole burst.
+  if (*frontier > line + (kPrefetchAhead - kPrefetchBurst) * line_bytes)
+    return;
+  std::vector<Addr> targets;
+  while (*frontier <= line + kPrefetchAhead * line_bytes &&
+         targets.size() < 2 * kPrefetchBurst) {
+    targets.push_back(*frontier);
+    *frontier += line_bytes;
+  }
+  for (const Addr target : targets) {
+    if (node.l2.contains(target)) continue;
+    // Never disturb a line another core owns (M/E) — the prefetcher queues
+    // behind the coherence protocol on real parts too.
+    bool owned_elsewhere = false;
+    bool shared_elsewhere = false;
+    for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
+      if (peer == core) continue;
+      const MesiState s = nodes_[peer].l2.state_of(target);
+      if (s == MesiState::kModified || s == MesiState::kExclusive)
+        owned_elsewhere = true;
+      else if (s == MesiState::kShared)
+        shared_elsewhere = true;
+    }
+    if (owned_elsewhere) continue;
+    Cache& local_l3 = l3s_[socket_of(core)];
+    if (!local_l3.contains(target)) {
+      // Prefetches are the lowest-priority memory traffic: a saturated
+      // channel refuses them (kPrefetchDropped) rather than queueing them —
+      // otherwise the backlog they create would silently defer onto later
+      // demand misses.
+      if (dram_queue_delay(now, target, /*demand=*/false) ==
+          kPrefetchDropped)
+        continue;
+      count(core, RawEvent::kHwPrefetchesIssued, 1);
+      count(core, RawEvent::kDramReads, 1);
+      fill_l3(socket_of(core), target, MesiState::kExclusive);
+    } else {
+      count(core, RawEvent::kHwPrefetchesIssued, 1);
+      local_l3.touch(target);
+    }
+    count(core, RawEvent::kPrefetchFillsL2, 1);
+    fill_private(core, target,
+                 shared_elsewhere ? MesiState::kShared : MesiState::kExclusive,
+                 /*fill_l1=*/false);
+    // A prefetch fill is "in flight" briefly; demand loads arriving before
+    // it lands merge with it (HIT_LFB).
+    node.lfb.insert(target, now + config_.cycles.l2_hit, now);
+  }
+}
+
+
+
+Cycles MemorySystem::dram_queue_delay(Cycles now, Addr line, bool demand) {
+  const Addr row = line / config_.cycles.dram_row_bytes;
+  // Banks interleave at 512-byte granularity: a prefetch burst (8
+  // consecutive lines) lands on one bank as a single row activation plus
+  // row hits, successive bursts rotate banks, and no stream can monopolize
+  // a bank for a whole 4 KiB row. This matches real controllers' channel/
+  // bank interleave functions sitting between line and row granularity.
+  constexpr Addr kBankInterleaveBytes = 512;
+  const std::size_t bank_index =
+      (line / kBankInterleaveBytes) % dram_banks_.size();
+
+  const auto occupy = [&](DramBank& bank, Cycles& bus_free) -> Cycles {
+    const bool row_hit = bank.open_row == row;
+    bank.open_row = row;
+    const Cycles bank_busy =
+        row_hit ? config_.cycles.dram_bus_occupancy
+                : config_.cycles.dram_row_miss_occupancy;
+    const Cycles start = std::max({now, bank.free_at, bus_free});
+    bank.free_at = start + bank_busy;
+    bus_free = start + config_.cycles.dram_bus_occupancy;
+    return start - now;
+  };
+
+  if (!demand) {
+    // Prefetch admission: accept only while the channel's run-ahead is
+    // bounded; a saturated channel sheds prefetches one by one (duty-cycled
+    // prefetching) instead of building an unbounded backlog, and resumes as
+    // soon as the queue drains.
+    DramBank& bank = dram_banks_[bank_index];
+    const Cycles start = std::max({now, bank.free_at, dram_bus_free_});
+    if (start - now > kPrefetchAdmissionWindow) return kPrefetchDropped;
+    return occupy(bank, dram_bus_free_);
+  }
+  // Demand traffic has its own service domain (FR-FCFS reserves service
+  // share for demand; a prefetch backlog can never delay it).
+  return occupy(dram_demand_banks_[bank_index], dram_demand_bus_free_);
+}
+
+MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
+                                                       bool want_ownership,
+                                                       Cycles now) {
+  FSML_DCHECK(nodes_[core].l2.state_of(line) == MesiState::kInvalid);
+  const std::uint32_t my_socket = socket_of(core);
+
+  // Find the (unique) M/E owner and the S sharers across every socket.
+  CoreId owner = 0;
+  MesiState owner_state = MesiState::kInvalid;
+  std::vector<CoreId> sharers;
+  for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
+    if (peer == core) continue;
+    const MesiState s = nodes_[peer].l2.state_of(line);
+    if (s == MesiState::kModified || s == MesiState::kExclusive) {
+      FSML_DCHECK(owner_state == MesiState::kInvalid);
+      owner = peer;
+      owner_state = s;
+    } else if (s == MesiState::kShared) {
+      sharers.push_back(peer);
+    }
+  }
+
+  const auto qpi_extra = [&](std::uint32_t other_socket) -> Cycles {
+    if (other_socket == my_socket) return 0;
+    count(core, RawEvent::kCrossSocketTransfers, 1);
+    return config_.cycles.qpi_hop;
+  };
+
+  if (owner_state == MesiState::kModified) {
+    const std::uint32_t owner_socket = socket_of(owner);
+    snoop_peer(owner, line, want_ownership);
+    // The transfer refreshes the dirty copy in the owner's socket L3 and
+    // installs the line in ours.
+    writeback_to_l3(owner_socket, line);
+    if (want_ownership) {
+      invalidate_other_l3s(my_socket, line);
+      writeback_to_l3(my_socket, line);
+      count(core, RawEvent::kInvalidationsSent, 1);
+    } else if (owner_socket != my_socket) {
+      fill_l3(my_socket, line, MesiState::kShared);
+    }
+    count(core, RawEvent::kHitmTransfersIn, 1);
+    return {ServiceLevel::kPeerHitM,
+            want_ownership ? MesiState::kModified : MesiState::kShared,
+            qpi_extra(owner_socket)};
+  }
+  if (owner_state == MesiState::kExclusive) {
+    const std::uint32_t owner_socket = socket_of(owner);
+    snoop_peer(owner, line, want_ownership);
+    if (want_ownership) {
+      invalidate_other_l3s(my_socket, line);
+      fill_l3(my_socket, line, MesiState::kExclusive);
+      count(core, RawEvent::kInvalidationsSent, 1);
+    } else if (owner_socket != my_socket) {
+      fill_l3(my_socket, line, MesiState::kShared);
+    }
+    count(core, RawEvent::kCleanTransfersIn, 1);
+    return {ServiceLevel::kPeerHit,
+            want_ownership ? MesiState::kModified : MesiState::kShared,
+            qpi_extra(owner_socket)};
+  }
+
+  // No private owner. Serve from the nearest L3 holding the line.
+  const MesiState local_l3 = l3s_[my_socket].touch(line);
+  std::uint32_t home_socket = my_socket;
+  if (local_l3 == MesiState::kInvalid) {
+    bool found = false;
+    for (std::uint32_t sock = 0; sock < l3s_.size(); ++sock) {
+      if (sock == my_socket) continue;
+      if (l3s_[sock].contains(line)) {
+        home_socket = sock;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Not cached anywhere: fetch from DRAM into our socket's L3.
+      count(core, RawEvent::kL3Miss, 1);
+      count(core, RawEvent::kDramReads, 1);
+      fill_l3(my_socket, line, MesiState::kExclusive);
+      return {ServiceLevel::kDram,
+              want_ownership ? MesiState::kModified : MesiState::kExclusive,
+              dram_queue_delay(now, line)};
+    }
+    count(core, RawEvent::kRemoteL3Hits, 1);
+  }
+  count(core, RawEvent::kL3Hit, 1);
+
+  if (want_ownership) {
+    for (const CoreId peer : sharers) {
+      snoop_peer(peer, line, /*for_ownership=*/true);
+      count(core, RawEvent::kInvalidationsSent, 1);
+    }
+    invalidate_other_l3s(my_socket, line);
+    if (!l3s_[my_socket].contains(line))
+      fill_l3(my_socket, line, MesiState::kExclusive);
+    return {ServiceLevel::kL3, MesiState::kModified,
+            qpi_extra(home_socket)};
+  }
+  if (!l3s_[my_socket].contains(line))
+    fill_l3(my_socket, line, MesiState::kShared);
+  return {ServiceLevel::kL3,
+          sharers.empty() ? MesiState::kExclusive : MesiState::kShared,
+          qpi_extra(home_socket)};
+}
+
+MesiState MemorySystem::snoop_peer(CoreId peer, Addr line,
+                                   bool for_ownership) {
+  CoreNode& node = nodes_[peer];
+  const MesiState s = node.l2.state_of(line);
+  if (s == MesiState::kInvalid) return s;
+  count(peer, RawEvent::kSnoopRequestsReceived, 1);
+  switch (s) {
+    case MesiState::kModified:
+      count(peer, RawEvent::kSnoopResponseHitM, 1);
+      if (for_ownership) {
+        count(peer, RawEvent::kTransMI, 1);
+        count(peer, RawEvent::kInvalidationsReceived, 1);
+        node.l1.invalidate(line);
+        node.l2.invalidate(line);
+      } else {
+        count(peer, RawEvent::kTransMS, 1);
+        if (node.l1.contains(line)) node.l1.set_state(line, MesiState::kShared);
+        node.l2.set_state(line, MesiState::kShared);
+      }
+      break;
+    case MesiState::kExclusive:
+      count(peer, RawEvent::kSnoopResponseHitE, 1);
+      if (for_ownership) {
+        count(peer, RawEvent::kTransEI, 1);
+        count(peer, RawEvent::kInvalidationsReceived, 1);
+        node.l1.invalidate(line);
+        node.l2.invalidate(line);
+      } else {
+        count(peer, RawEvent::kTransES, 1);
+        if (node.l1.contains(line)) node.l1.set_state(line, MesiState::kShared);
+        node.l2.set_state(line, MesiState::kShared);
+      }
+      break;
+    case MesiState::kShared:
+      count(peer, RawEvent::kSnoopResponseHit, 1);
+      FSML_DCHECK(for_ownership);  // read requests never snoop S holders
+      count(peer, RawEvent::kTransSI, 1);
+      count(peer, RawEvent::kInvalidationsReceived, 1);
+      node.l1.invalidate(line);
+      node.l2.invalidate(line);
+      break;
+    case MesiState::kInvalid:
+      break;
+  }
+  return s;
+}
+
+void MemorySystem::record_fill_transition(CoreId core, MesiState state) {
+  switch (state) {
+    case MesiState::kShared:
+      count(core, RawEvent::kTransIS, 1);
+      break;
+    case MesiState::kExclusive:
+      count(core, RawEvent::kTransIE, 1);
+      break;
+    case MesiState::kModified:
+      count(core, RawEvent::kTransIM, 1);
+      break;
+    case MesiState::kInvalid:
+      break;
+  }
+}
+
+void MemorySystem::fill_private(CoreId core, Addr line, MesiState state,
+                                bool fill_l1) {
+  CoreNode& node = nodes_[core];
+
+  if (node.l2.state_of(line) == MesiState::kInvalid) {
+    count(core, RawEvent::kL2Fill, 1);
+    record_fill_transition(core, state);
+    switch (state) {
+      case MesiState::kShared:
+        count(core, RawEvent::kL2LinesInS, 1);
+        break;
+      case MesiState::kExclusive:
+        count(core, RawEvent::kL2LinesInE, 1);
+        break;
+      case MesiState::kModified:
+        count(core, RawEvent::kL2LinesInM, 1);
+        break;
+      case MesiState::kInvalid:
+        break;
+    }
+    const auto evicted = node.l2.fill(line, state);
+    if (evicted) {
+      // Inclusion: the victim leaves L1 too; its dirtiness travels along.
+      const MesiState l1_victim = node.l1.invalidate(evicted->line_addr);
+      const bool dirty = evicted->state == MesiState::kModified ||
+                         l1_victim == MesiState::kModified;
+      if (dirty) {
+        count(core, RawEvent::kL2LinesOutDemandDirty, 1);
+        writeback_to_l3(socket_of(core), evicted->line_addr);
+      } else {
+        count(core, RawEvent::kL2LinesOutDemandClean, 1);
+      }
+    }
+  } else {
+    node.l2.set_state(line, state);
+  }
+
+  if (!fill_l1) return;
+  if (node.l1.state_of(line) == state) return;
+  count(core, RawEvent::kL1dReplacement, 1);
+  const auto evicted = node.l1.fill(line, state);
+  if (evicted) {
+    if (evicted->state == MesiState::kModified) {
+      count(core, RawEvent::kL1dEvictDirty, 1);
+      // Writeback into L2; inclusion guarantees the line is resident there.
+      node.l2.set_state(evicted->line_addr, MesiState::kModified);
+    } else {
+      count(core, RawEvent::kL1dEvictClean, 1);
+    }
+  }
+}
+
+void MemorySystem::fill_l3(std::uint32_t socket, Addr line, MesiState state) {
+  const auto evicted = l3s_[socket].fill(line, state);
+  if (!evicted) return;
+  // Inclusion: back-invalidate the victim in this socket's cores; a
+  // Modified private copy (or a dirty L3 copy) must reach memory.
+  bool dirty = evicted->state == MesiState::kModified;
+  for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
+    if (socket_of(peer) != socket) continue;
+    CoreNode& node = nodes_[peer];
+    const MesiState s = node.l2.state_of(evicted->line_addr);
+    if (s == MesiState::kInvalid) continue;
+    if (s == MesiState::kModified) dirty = true;
+    const MesiState l1s = node.l1.invalidate(evicted->line_addr);
+    if (l1s == MesiState::kModified) dirty = true;
+    node.l2.invalidate(evicted->line_addr);
+    count(peer, RawEvent::kInvalidationsReceived, 1);
+    switch (s) {
+      case MesiState::kModified:
+        count(peer, RawEvent::kTransMI, 1);
+        break;
+      case MesiState::kExclusive:
+        count(peer, RawEvent::kTransEI, 1);
+        break;
+      case MesiState::kShared:
+        count(peer, RawEvent::kTransSI, 1);
+        break;
+      case MesiState::kInvalid:
+        break;
+    }
+  }
+  if (dirty && counting_) {
+    // Attribute the memory write to the machine, not a specific core: use
+    // core 0's bank (the aggregate view is what the PMU layer reads).
+    nodes_[0].counters.add(RawEvent::kDramWrites, 1);
+  }
+}
+
+void MemorySystem::writeback_to_l3(std::uint32_t socket, Addr line) {
+  if (l3s_[socket].contains(line)) {
+    l3s_[socket].set_state(line, MesiState::kModified);
+  } else {
+    fill_l3(socket, line, MesiState::kModified);
+  }
+}
+
+void MemorySystem::invalidate_other_l3s(std::uint32_t keep_socket,
+                                        Addr line) {
+  for (std::uint32_t sock = 0; sock < l3s_.size(); ++sock)
+    if (sock != keep_socket) l3s_[sock].invalidate(line);
+}
+
+bool MemorySystem::check_coherence_invariant() const {
+  std::map<Addr, std::vector<MesiState>> lines;
+  for (const CoreNode& node : nodes_) {
+    node.l2.for_each_line([&](Addr line, MesiState s) {
+      lines[line].push_back(s);
+    });
+    // L1 state must agree with the same core's L2 (or be absent).
+    bool ok = true;
+    node.l1.for_each_line([&](Addr line, MesiState s) {
+      const MesiState s2 = node.l2.state_of(line);
+      if (s2 == MesiState::kInvalid) ok = false;
+      // L1 may lag behind L2 only in the L2=M, L1=S/E direction is illegal;
+      // we keep them equal except when L1 lacks the line.
+      if (s != s2) ok = false;
+    });
+    if (!ok) return false;
+  }
+  for (const auto& [line, states] : lines) {
+    int exclusive_like = 0;
+    for (MesiState s : states)
+      if (s == MesiState::kModified || s == MesiState::kExclusive)
+        ++exclusive_like;
+    if (exclusive_like > 1) return false;
+    if (exclusive_like == 1 && states.size() > 1) return false;
+  }
+  return true;
+}
+
+bool MemorySystem::check_inclusion() const {
+  for (CoreId core = 0; core < nodes_.size(); ++core) {
+    const CoreNode& node = nodes_[core];
+    const Cache& socket_l3 = l3s_[socket_of(core)];
+    bool ok = true;
+    node.l1.for_each_line([&](Addr line, MesiState) {
+      if (!node.l2.contains(line)) ok = false;
+    });
+    node.l2.for_each_line([&](Addr line, MesiState) {
+      if (!socket_l3.contains(line)) ok = false;
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace fsml::sim

@@ -1,0 +1,34 @@
+// Instrumentation hook: external tools (the Zhao-style shadow detector, the
+// SHERIFF-style epoch detector, tracing) observe every demand access the
+// simulated cores make. This is the moral equivalent of binary
+// instrumentation (Umbra / Pin) on a real machine.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace fsml::sim {
+
+/// One observed demand access, delivered after the hierarchy serviced it.
+struct AccessRecord {
+  CoreId core = 0;
+  Addr addr = 0;
+  std::uint32_t size = 0;
+  AccessType type = AccessType::kLoad;
+  ServiceLevel level = ServiceLevel::kL1;
+  Cycles issue_clock = 0;  ///< core-local clock at issue
+};
+
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  virtual void on_access(const AccessRecord& record) = 0;
+  /// Called when `core` retires `count` non-memory instructions.
+  virtual void on_instructions(CoreId core, std::uint64_t count) {
+    (void)core;
+    (void)count;
+  }
+};
+
+}  // namespace fsml::sim

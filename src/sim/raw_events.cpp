@@ -1,0 +1,104 @@
+#include "sim/raw_events.hpp"
+
+#include "util/check.hpp"
+
+namespace fsml::sim {
+
+namespace {
+
+struct EventMeta {
+  std::string_view name;
+  std::string_view description;
+};
+
+constexpr std::array<EventMeta, kNumRawEvents> kMeta = {{
+    {"inst_retired", "Instructions retired"},
+    {"loads_retired", "Load instructions retired"},
+    {"stores_retired", "Store instructions retired"},
+    {"atomics_retired", "Atomic RMW instructions retired"},
+    {"cycles_total", "Core cycles elapsed"},
+
+    {"l1d_load_hit", "Demand loads hitting L1D"},
+    {"l1d_load_miss", "Demand loads missing L1D"},
+    {"l1d_store_hit", "Store drains hitting L1D in a writable state"},
+    {"l1d_store_miss", "Store drains missing L1D or needing ownership"},
+    {"l1d_hit_lfb", "Loads merged with an in-flight line fill"},
+    {"l1d_replacement", "Lines filled into L1D (replacements)"},
+    {"l1d_evict_clean", "Clean lines evicted from L1D"},
+    {"l1d_evict_dirty", "Dirty lines written back from L1D"},
+
+    {"l2_demand_requests", "Demand requests reaching L2"},
+    {"l2_demand_istate", "L2 demand requests finding the line Invalid"},
+    {"l2_hit", "Demand requests hitting L2"},
+    {"l2_miss", "Demand requests missing L2"},
+    {"l2_ld_miss", "Demand loads missing L2"},
+    {"l2_st_miss", "Demand RFOs missing L2"},
+    {"l2_rfo_hit_s", "RFOs finding the line Shared in L2 (upgrade)"},
+    {"l2_fill", "Lines filled into L2"},
+    {"l2_lines_in_s", "Lines entering L2 in Shared state"},
+    {"l2_lines_in_e", "Lines entering L2 in Exclusive state"},
+    {"l2_lines_in_m", "Lines entering L2 in Modified state"},
+    {"l2_lines_out_demand_clean", "Clean L2 evictions from demand fills"},
+    {"l2_lines_out_demand_dirty", "Dirty L2 evictions from demand fills"},
+
+    {"offcore_demand_rd_data", "Demand data reads leaving the core"},
+    {"offcore_rfo", "RFOs leaving the core"},
+    {"l3_hit", "Demand requests hitting the shared L3"},
+    {"l3_miss", "Demand requests missing the shared L3"},
+    {"dram_reads", "Lines read from memory"},
+    {"dram_writes", "Lines written back to memory"},
+    {"hw_prefetches_issued", "Stream-prefetcher requests sent offcore"},
+    {"prefetch_fills_l2", "Prefetched lines installed into L2"},
+    {"cross_socket_transfers", "Coherence transfers that crossed QPI"},
+    {"remote_l3_hits", "Demand requests served by the remote socket's L3"},
+
+    {"snoop_requests_received", "Bus snoops received by this core"},
+    {"snoop_response_hit", "Snoops answered HIT (line Shared here)"},
+    {"snoop_response_hit_e", "Snoops answered HIT (line Exclusive here)"},
+    {"snoop_response_hitm", "Snoops answered HITM (line Modified here)"},
+    {"invalidations_received", "Lines invalidated here by remote RFOs"},
+
+    {"hitm_transfers_in", "Demand accesses serviced by a peer's M line"},
+    {"clean_transfers_in", "Demand accesses serviced by a peer's S/E line"},
+    {"rfo_upgrades", "Shared->Modified upgrades (invalidate-only RFO)"},
+    {"invalidations_sent", "Invalidations broadcast by this core's RFOs"},
+
+    {"trans_i_s", "MESI transitions I->S"},
+    {"trans_i_e", "MESI transitions I->E"},
+    {"trans_i_m", "MESI transitions I->M"},
+    {"trans_s_m", "MESI transitions S->M"},
+    {"trans_e_m", "MESI transitions E->M"},
+    {"trans_e_s", "MESI transitions E->S"},
+    {"trans_m_s", "MESI transitions M->S"},
+    {"trans_s_i", "MESI transitions S->I"},
+    {"trans_e_i", "MESI transitions E->I"},
+    {"trans_m_i", "MESI transitions M->I"},
+
+    {"dtlb_hit", "DTLB hits"},
+    {"dtlb_miss", "DTLB misses (page walks)"},
+
+    {"store_buffer_stall_cycles", "Cycles stalled on a full store buffer"},
+    {"load_stall_cycles", "Cycles loads waited beyond L1 latency"},
+
+    {"mem_load_retired_l1_hit", "Retired loads serviced by L1D"},
+    {"mem_load_retired_l2_hit", "Retired loads serviced by L2"},
+    {"mem_load_retired_l3_hit", "Retired loads serviced by L3"},
+    {"mem_load_retired_dram", "Retired loads serviced by DRAM"},
+    {"mem_load_retired_peer", "Retired loads serviced by a peer cache"},
+}};
+
+}  // namespace
+
+std::string_view raw_event_name(RawEvent e) {
+  const auto i = static_cast<std::size_t>(e);
+  FSML_CHECK(i < kNumRawEvents);
+  return kMeta[i].name;
+}
+
+std::string_view raw_event_description(RawEvent e) {
+  const auto i = static_cast<std::size_t>(e);
+  FSML_CHECK(i < kNumRawEvents);
+  return kMeta[i].description;
+}
+
+}  // namespace fsml::sim

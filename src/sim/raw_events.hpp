@@ -1,0 +1,147 @@
+// Raw micro-architectural event counters produced by the simulator.
+//
+// The simulator counts fine-grained micro-events (per level, per MESI state,
+// per snoop outcome). The PMU layer (src/pmu) maps a subset of these to the
+// named Westmere-DP architectural events of the paper's Table 2, and the
+// whole list doubles as the ~60-entry *candidate* event list that the
+// Section-2.3 selection procedure searches over.
+//
+// Counters are per core; "responder-side" snoop events are attributed to the
+// core that answers the snoop, matching Intel's SNOOP_RESPONSE.* semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace fsml::sim {
+
+enum class RawEvent : std::uint16_t {
+  // Retirement
+  kInstructionsRetired,
+  kLoadsRetired,
+  kStoresRetired,
+  kAtomicsRetired,
+  kCyclesTotal,
+
+  // L1D
+  kL1dLoadHit,
+  kL1dLoadMiss,
+  kL1dStoreHit,
+  kL1dStoreMiss,
+  kL1dHitLfb,             ///< load merged with an in-flight fill
+  kL1dReplacement,        ///< any line filled into L1D displacing another
+  kL1dEvictClean,
+  kL1dEvictDirty,         ///< writeback to L2
+
+  // L2 (private, unified in the model)
+  kL2DemandRequests,      ///< all demand requests reaching L2
+  kL2DemandIState,        ///< demand request found the line Invalid (miss)
+  kL2Hit,
+  kL2Miss,
+  kL2LdMiss,              ///< demand load misses at L2
+  kL2StMiss,              ///< demand RFO misses at L2
+  kL2RfoHitS,             ///< write found line Shared in L2 -> upgrade RFO
+  kL2Fill,                ///< lines filled into L2 (L2_TRANSACTIONS.FILL)
+  kL2LinesInS,            ///< fills arriving in Shared state
+  kL2LinesInE,            ///< fills arriving in Exclusive state
+  kL2LinesInM,            ///< fills arriving in Modified state
+  kL2LinesOutDemandClean, ///< clean evictions caused by demand fills
+  kL2LinesOutDemandDirty, ///< dirty evictions (writeback) by demand fills
+
+  // Offcore / uncore
+  kOffcoreDemandRdData,   ///< demand data reads leaving the private caches
+  kOffcoreRfo,            ///< RFOs leaving the private caches
+  kL3Hit,
+  kL3Miss,
+  kDramReads,
+  kDramWrites,
+  kHwPrefetchesIssued,    ///< stream-prefetcher requests sent offcore
+  kPrefetchFillsL2,       ///< prefetched lines installed into L2
+  kCrossSocketTransfers,  ///< coherence transfers that crossed QPI
+  kRemoteL3Hits,          ///< demand requests served by the other socket's L3
+
+  // Snooping (responder side)
+  kSnoopRequestsReceived,
+  kSnoopResponseHit,      ///< responded HIT: line Shared here
+  kSnoopResponseHitE,     ///< responded HIT: line Exclusive here
+  kSnoopResponseHitM,     ///< responded HITM: line Modified here (transfer)
+  kInvalidationsReceived, ///< lines invalidated here by remote RFO/upgrade
+
+  // Requester-side coherence outcomes
+  kHitmTransfersIn,       ///< demand access serviced by a peer's M line
+  kCleanTransfersIn,      ///< demand access serviced by a peer's S/E line
+  kRfoUpgrades,           ///< S->M upgrades (invalidate-only RFO)
+  kInvalidationsSent,
+
+  // MESI transitions observed in this core's private caches
+  kTransIS,
+  kTransIE,
+  kTransIM,
+  kTransSM,
+  kTransEM,
+  kTransES,
+  kTransMS,
+  kTransSI,
+  kTransEI,
+  kTransMI,
+
+  // DTLB
+  kDtlbHit,
+  kDtlbMiss,
+
+  // Pipeline resource stalls (cycles)
+  kStoreBufferStallCycles, ///< store buffer full (RESOURCE_STALLS.STORE)
+  kLoadStallCycles,        ///< cycles a load waited beyond L1 latency
+
+  // Service-level breakdown for retired loads (MEM_LOAD_RETIRED.*)
+  kMemLoadRetiredL1Hit,
+  kMemLoadRetiredL2Hit,
+  kMemLoadRetiredL3Hit,
+  kMemLoadRetiredDram,
+  kMemLoadRetiredPeer,
+
+  kNumRawEvents,  // sentinel
+};
+
+constexpr std::size_t kNumRawEvents =
+    static_cast<std::size_t>(RawEvent::kNumRawEvents);
+
+/// Short stable identifier (used in CSV headers and candidate lists).
+std::string_view raw_event_name(RawEvent e);
+
+/// One-line description for documentation output.
+std::string_view raw_event_description(RawEvent e);
+
+/// Per-core counter bank.
+class RawCounters {
+ public:
+  std::uint64_t get(RawEvent e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+  void add(RawEvent e, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(e)] += n;
+  }
+  void reset() { counts_.fill(0); }
+
+  /// Element-wise accumulation (used to aggregate across cores).
+  RawCounters& operator+=(const RawCounters& other) {
+    for (std::size_t i = 0; i < kNumRawEvents; ++i)
+      counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+  /// Element-wise difference; `other` must be a later snapshot of the same
+  /// monotonically increasing counters (used for time-sliced sampling).
+  RawCounters delta_to(const RawCounters& later) const {
+    RawCounters out;
+    for (std::size_t i = 0; i < kNumRawEvents; ++i)
+      out.counts_[i] = later.counts_[i] - counts_[i];
+    return out;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumRawEvents> counts_{};
+};
+
+}  // namespace fsml::sim

@@ -1,0 +1,86 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace fsml::sim {
+
+void Trace::add_access(const AccessRecord& record) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kAccess;
+  ev.access = record;
+  events_.push_back(ev);
+  ++accesses_;
+  max_core_ = std::max(max_core_, record.core);
+}
+
+void Trace::add_instructions(CoreId core, std::uint64_t count) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kInstructions;
+  ev.core = core;
+  ev.instructions = count;
+  events_.push_back(ev);
+  instructions_ += count;
+  max_core_ = std::max(max_core_, core);
+}
+
+void Trace::save(std::ostream& os) const {
+  os << "fsml-trace v1 " << events_.size() << '\n';
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == TraceEvent::Kind::kAccess) {
+      const AccessRecord& a = ev.access;
+      os << "A " << a.core << ' ' << a.addr << ' ' << a.size << ' '
+         << static_cast<int>(a.type) << ' ' << static_cast<int>(a.level)
+         << ' ' << a.issue_clock << '\n';
+    } else {
+      os << "I " << ev.core << ' ' << ev.instructions << '\n';
+    }
+  }
+}
+
+Trace Trace::load(std::istream& is) {
+  std::string magic, version;
+  std::size_t count = 0;
+  is >> magic >> version >> count;
+  FSML_CHECK_MSG(magic == "fsml-trace" && version == "v1",
+                 "not a fsml-trace v1 file");
+  Trace trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string kind;
+    is >> kind;
+    FSML_CHECK_MSG(static_cast<bool>(is), "truncated trace");
+    if (kind == "A") {
+      AccessRecord a;
+      int type = 0, level = 0;
+      is >> a.core >> a.addr >> a.size >> type >> level >> a.issue_clock;
+      FSML_CHECK_MSG(static_cast<bool>(is), "malformed access record");
+      a.type = static_cast<AccessType>(type);
+      a.level = static_cast<ServiceLevel>(level);
+      trace.add_access(a);
+    } else if (kind == "I") {
+      CoreId core = 0;
+      std::uint64_t n = 0;
+      is >> core >> n;
+      FSML_CHECK_MSG(static_cast<bool>(is), "malformed instruction record");
+      trace.add_instructions(core, n);
+    } else {
+      FSML_CHECK_MSG(false, "unknown trace record kind '" + kind + "'");
+    }
+  }
+  return trace;
+}
+
+void replay(const Trace& trace, AccessObserver& observer) {
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.kind == TraceEvent::Kind::kAccess)
+      observer.on_access(ev.access);
+    else
+      observer.on_instructions(ev.core, ev.instructions);
+  }
+}
+
+}  // namespace fsml::sim

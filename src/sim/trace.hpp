@@ -1,0 +1,81 @@
+// Access-trace recording and replay.
+//
+// A TraceRecorder captures every demand access and instruction-retire event
+// of an instrumented run; the trace can be saved, shipped, and replayed
+// into any AccessObserver-based tool later — "collect once, analyze many".
+// The heavyweight ground-truth detectors (shadow memory, epoch diffing) can
+// then run offline against one recorded execution instead of re-simulating,
+// and two tools replaying the same trace see *exactly* the same events.
+//
+//   sim::TraceRecorder recorder;
+//   machine.memory().add_observer(&recorder);
+//   machine.run();
+//   ...
+//   baseline::ShadowDetector shadow(threads);
+//   sim::replay(recorder.trace(), shadow);
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace fsml::sim {
+
+/// One trace entry: either a memory access or a batch of retired
+/// instructions (compute), in program-global observation order.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kAccess, kInstructions };
+  Kind kind = Kind::kAccess;
+  AccessRecord access;          ///< valid when kind == kAccess
+  CoreId core = 0;              ///< valid when kind == kInstructions
+  std::uint64_t instructions = 0;
+};
+
+class Trace {
+ public:
+  void add_access(const AccessRecord& record);
+  void add_instructions(CoreId core, std::uint64_t count);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  std::uint64_t total_accesses() const { return accesses_; }
+  std::uint64_t total_instructions() const { return instructions_; }
+  std::uint32_t max_core() const { return max_core_; }
+
+  /// Line-oriented text serialization ("A core addr size type level clock"
+  /// / "I core count").
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint32_t max_core_ = 0;
+};
+
+/// Records all observed events into an in-memory Trace.
+class TraceRecorder final : public AccessObserver {
+ public:
+  void on_access(const AccessRecord& record) override {
+    trace_.add_access(record);
+  }
+  void on_instructions(CoreId core, std::uint64_t count) override {
+    trace_.add_instructions(core, count);
+  }
+
+  const Trace& trace() const { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+/// Feeds every event of `trace` to `observer` in recorded order.
+void replay(const Trace& trace, AccessObserver& observer);
+
+}  // namespace fsml::sim

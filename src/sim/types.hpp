@@ -1,0 +1,74 @@
+// Fundamental types of the multicore memory-hierarchy simulator.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fsml::sim {
+
+using Addr = std::uint64_t;     ///< simulated virtual address
+using Cycles = std::uint64_t;   ///< core-local virtual time
+using CoreId = std::uint32_t;
+
+enum class AccessType : std::uint8_t {
+  kLoad,   ///< demand data read
+  kStore,  ///< demand write (issues RFO on miss / upgrade on S)
+  kRmw,    ///< atomic read-modify-write; coherence behaviour of a store
+};
+
+constexpr bool is_write(AccessType t) {
+  return t == AccessType::kStore || t == AccessType::kRmw;
+}
+
+/// MESI stable states of a line in a private cache.
+enum class MesiState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+constexpr std::string_view to_string(MesiState s) {
+  switch (s) {
+    case MesiState::kInvalid: return "I";
+    case MesiState::kShared: return "S";
+    case MesiState::kExclusive: return "E";
+    case MesiState::kModified: return "M";
+  }
+  return "?";
+}
+
+/// Where a demand access was ultimately serviced from.
+enum class ServiceLevel : std::uint8_t {
+  kL1,        ///< hit in the core's L1D
+  kLfb,       ///< merged with an in-flight fill (line-fill buffer hit)
+  kL2,        ///< hit in the core's private L2
+  kPeerHit,   ///< supplied by another core holding the line S/E (clean)
+  kPeerHitM,  ///< supplied by another core holding the line Modified (HITM)
+  kL3,        ///< hit in the shared last-level cache
+  kDram,      ///< serviced from memory
+  kUpgrade,   ///< write hit on a Shared line: invalidate-only RFO upgrade
+};
+
+constexpr std::string_view to_string(ServiceLevel l) {
+  switch (l) {
+    case ServiceLevel::kL1: return "L1";
+    case ServiceLevel::kLfb: return "LFB";
+    case ServiceLevel::kL2: return "L2";
+    case ServiceLevel::kPeerHit: return "PeerHit";
+    case ServiceLevel::kPeerHitM: return "PeerHITM";
+    case ServiceLevel::kL3: return "L3";
+    case ServiceLevel::kDram: return "DRAM";
+    case ServiceLevel::kUpgrade: return "Upgrade";
+  }
+  return "?";
+}
+
+/// Result of one demand access through the hierarchy.
+struct AccessResult {
+  ServiceLevel level = ServiceLevel::kL1;
+  Cycles latency = 0;       ///< total cycles charged to the access
+  bool dtlb_miss = false;
+};
+
+}  // namespace fsml::sim

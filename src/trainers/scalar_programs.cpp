@@ -1,0 +1,144 @@
+// The three "scalar" multi-threaded mini-programs (paper §2.2.1): psums,
+// padding, false1. Each thread repeatedly writes its own scalar variable;
+// false sharing appears when the per-thread variables are packed onto
+// shared cache lines. The three differ in what they do, how much memory
+// they use and how they access it, which diversifies the training data.
+#include "trainers/trainer.hpp"
+
+namespace fsml::trainers {
+namespace detail {
+namespace {
+
+/// psums: each thread accumulates into its own partial-sum slot with a
+/// load-add-store per iteration — the densest possible write stream.
+class Psums final : public MiniProgram {
+ public:
+  std::string_view name() const override { return "psums"; }
+  std::string_view description() const override {
+    return "per-thread scalar accumulation, load-add-store per iteration";
+  }
+  bool multithreaded() const override { return true; }
+  bool supports_bad_ma() const override { return false; }
+  std::vector<std::uint64_t> default_sizes() const override {
+    return {24000, 48000, 96000};
+  }
+
+  void build(exec::Machine& m, const TrainerParams& p) const override {
+    const auto slots =
+        make_slots(m.arena(), p.threads, /*padded=*/p.mode != Mode::kBadFs);
+    const std::uint64_t total = p.size ? p.size : default_sizes()[0];
+    const std::uint64_t iters = total / p.threads;  // each thread's share
+    for (std::uint32_t t = 0; t < p.threads; ++t) {
+      const sim::Addr slot = slots[t];
+      m.spawn([slot, iters](exec::ThreadCtx& ctx) -> exec::SimTask {
+        ctx.compute(ctx.rng().next_below(32));  // start skew
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          co_await ctx.load(slot);
+          ctx.compute(1);
+          co_await ctx.store(slot);
+        }
+      });
+    }
+  }
+};
+
+/// padding: each thread updates two fields of its own record; "good" pads
+/// each record to a cache line, "bad-fs" packs records of all threads.
+/// Write-only stores with more compute in between than psums.
+class Padding final : public MiniProgram {
+ public:
+  std::string_view name() const override { return "padding"; }
+  std::string_view description() const override {
+    return "two-field per-thread records, padded vs packed layout";
+  }
+  bool multithreaded() const override { return true; }
+  bool supports_bad_ma() const override { return false; }
+  std::vector<std::uint64_t> default_sizes() const override {
+    return {24000, 48000, 96000};
+  }
+
+  void build(exec::Machine& m, const TrainerParams& p) const override {
+    // Record = {a, b}, 16 bytes. good: one record per line; bad-fs: records
+    // packed back to back (4 threads per line).
+    std::vector<sim::Addr> records;
+    if (p.mode == Mode::kBadFs) {
+      const sim::Addr base = m.arena().alloc_line_aligned(16ULL * p.threads);
+      for (std::uint32_t t = 0; t < p.threads; ++t)
+        records.push_back(base + 16ULL * t);
+    } else {
+      for (std::uint32_t t = 0; t < p.threads; ++t)
+        records.push_back(m.arena().alloc_line_aligned(16));
+    }
+    const std::uint64_t total = p.size ? p.size : default_sizes()[0];
+    const std::uint64_t iters = total / p.threads;
+    for (std::uint32_t t = 0; t < p.threads; ++t) {
+      const sim::Addr rec = records[t];
+      m.spawn([rec, iters](exec::ThreadCtx& ctx) -> exec::SimTask {
+        ctx.compute(ctx.rng().next_below(32));
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          co_await ctx.store(rec);        // field a
+          ctx.compute(3);
+          co_await ctx.store(rec + 8);    // field b
+          ctx.compute(2);
+        }
+      });
+    }
+  }
+};
+
+/// false1: the classic demo — per-thread counters packed on one line, each
+/// thread hammering read-modify-writes; each thread also walks a small
+/// private L1-resident array, and all threads share a read-only
+/// configuration line (benign S-state sharing) to keep the signature from
+/// being write-only.
+class False1 final : public MiniProgram {
+ public:
+  std::string_view name() const override { return "false1"; }
+  std::string_view description() const override {
+    return "packed per-thread counters + private scratch + shared read-only line";
+  }
+  bool multithreaded() const override { return true; }
+  bool supports_bad_ma() const override { return false; }
+  std::vector<std::uint64_t> default_sizes() const override {
+    return {18000, 36000, 72000};
+  }
+
+  void build(exec::Machine& m, const TrainerParams& p) const override {
+    const auto slots =
+        make_slots(m.arena(), p.threads, /*padded=*/p.mode != Mode::kBadFs);
+    const sim::Addr shared_ro = m.arena().alloc_line_aligned(64);
+    constexpr std::uint64_t kScratchElems = 64;  // 512 B, L1-resident
+    std::vector<sim::Addr> scratch;
+    for (std::uint32_t t = 0; t < p.threads; ++t)
+      scratch.push_back(m.arena().alloc_line_aligned(8 * kScratchElems));
+
+    const std::uint64_t total = p.size ? p.size : default_sizes()[0];
+    const std::uint64_t iters = total / p.threads;
+    for (std::uint32_t t = 0; t < p.threads; ++t) {
+      const sim::Addr slot = slots[t];
+      const sim::Addr priv = scratch[t];
+      m.spawn([slot, priv, shared_ro, iters](
+                  exec::ThreadCtx& ctx) -> exec::SimTask {
+        ctx.compute(ctx.rng().next_below(32));
+        for (std::uint64_t i = 0; i < iters; ++i) {
+          co_await ctx.rmw(slot);
+          ctx.compute(4);
+          co_await ctx.load(priv + 8 * (i % kScratchElems));
+          if (i % 16 == 0) co_await ctx.load(shared_ro);
+        }
+      });
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<const MiniProgram*> scalar_programs() {
+  static const Psums psums;
+  static const Padding padding;
+  static const False1 false1;
+  return {&psums, &padding, &false1};
+}
+
+}  // namespace detail
+}  // namespace fsml::trainers

@@ -1,0 +1,45 @@
+// Lightweight invariant checking for fsml.
+//
+// FSML_CHECK is always on (simulation correctness beats a few branches);
+// FSML_DCHECK compiles out in release builds for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fsml::util {
+
+/// Thrown when an FSML_CHECK fails. Deriving from logic_error keeps the
+/// distinction between programming errors (this) and IO/user errors.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FSML_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace fsml::util
+
+#define FSML_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::fsml::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FSML_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::fsml::util::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+#ifdef NDEBUG
+#define FSML_DCHECK(expr) ((void)0)
+#else
+#define FSML_DCHECK(expr) FSML_CHECK(expr)
+#endif

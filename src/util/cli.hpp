@@ -1,0 +1,40 @@
+// Minimal long-option command-line parsing for benches and examples.
+//
+// Supports "--name=value", "--name value" and boolean "--flag". Unknown
+// options raise, so typos in experiment scripts fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fsml::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program_name() const { return program_name_; }
+
+  /// Names consumed so far; used by benches to print effective config.
+  std::vector<std::string> option_names() const;
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fsml::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fsml::util {
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: the ML library sums thousands of small normalized
+  // counts where naive summation drift can move split thresholds.
+  double s = 0.0, c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  FSML_CHECK(!xs.empty());
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  FSML_CHECK(!xs.empty());
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  FSML_CHECK(xs.size() >= 2);
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stdev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::vector<double> xs) {
+  FSML_CHECK(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double min_of(std::span<const double> xs) {
+  FSML_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  FSML_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double geomean(std::span<const double> xs) {
+  FSML_CHECK(!xs.empty());
+  double acc = 0.0;
+  for (double x : xs) {
+    FSML_CHECK_MSG(x > 0.0, "geomean requires positive values");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double quantile(std::vector<double> xs, double p) {
+  FSML_CHECK(!xs.empty());
+  FSML_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double rel_diff(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 0.0;
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace fsml::util

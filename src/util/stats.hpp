@@ -1,0 +1,28 @@
+// Small statistics helpers shared by the ML library and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fsml::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double sample_variance(std::span<const double> xs);
+double stdev(std::span<const double> xs);
+double median(std::vector<double> xs);         // by value: needs to sort
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Geometric mean of strictly positive values.
+double geomean(std::span<const double> xs);
+
+/// p-quantile (0 <= p <= 1) with linear interpolation.
+double quantile(std::vector<double> xs, double p);
+
+/// Relative difference |a-b| / max(|a|,|b|); 0 if both are 0.
+double rel_diff(double a, double b);
+
+}  // namespace fsml::util

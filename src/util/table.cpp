@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FSML_CHECK(!header_.empty());
+  aligns_.assign(header_.size(), Align::kLeft);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FSML_CHECK_MSG(cells.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+void Table::set_align(std::size_t column, Align align) {
+  FSML_CHECK(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align align) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return align == Align::kLeft ? s + fill : fill + s;
+}
+
+}  // namespace
+
+void Table::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const Row& row : rows_)
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << pad(cells[c], widths[c], aligns_[c]) << " |";
+    os << '\n';
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) rule();
+    line(row.cells);
+  }
+  rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string sci(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string with_commas(long long value) {
+  const bool neg = value < 0;
+  unsigned long long v =
+      neg ? 0ULL - static_cast<unsigned long long>(value)
+          : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fsml::util

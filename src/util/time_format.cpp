@@ -1,0 +1,50 @@
+#include "util/time_format.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fsml::util {
+
+std::string seconds_short(double seconds) {
+  std::ostringstream os;
+  if (seconds < 0.1) {
+    os << std::fixed << std::setprecision(3) << seconds << 's';
+  } else if (seconds < 10.0) {
+    os << std::fixed << std::setprecision(2) << seconds << 's';
+  } else {
+    os << std::fixed << std::setprecision(1) << seconds << 's';
+  }
+  return os.str();
+}
+
+std::string seconds_minutes(double seconds) {
+  if (seconds < 60.0) return seconds_short(seconds);
+  const auto minutes = static_cast<long long>(seconds / 60.0);
+  const double rem = seconds - static_cast<double>(minutes) * 60.0;
+  std::ostringstream os;
+  os << minutes << 'm' << std::fixed << std::setprecision(2) << rem << 's';
+  return os.str();
+}
+
+double cycles_to_seconds(std::uint64_t cycles, double hz) {
+  FSML_CHECK(hz > 0.0);
+  return static_cast<double>(cycles) / hz;
+}
+
+std::string auto_time(double seconds) {
+  std::ostringstream os;
+  if (seconds >= 60.0) return seconds_minutes(seconds);
+  if (seconds >= 1.0) {
+    os << std::fixed << std::setprecision(2) << seconds << 's';
+  } else if (seconds >= 1e-3) {
+    os << std::fixed << std::setprecision(2) << seconds * 1e3 << "ms";
+  } else {
+    os << std::fixed << std::setprecision(0) << seconds * 1e6 << "us";
+  }
+  return os.str();
+}
+
+}  // namespace fsml::util

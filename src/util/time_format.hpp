@@ -1,0 +1,24 @@
+// Human-readable virtual-time formatting in the paper's styles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsml::util {
+
+/// "0.445s" style with three decimals (Table 8 small inputs).
+std::string seconds_short(double seconds);
+
+/// "3m12.78s" style used by the paper for the native streamcluster input;
+/// falls back to seconds_short below one minute.
+std::string seconds_minutes(double seconds);
+
+/// Converts simulator cycles to seconds at a given core frequency (Hz).
+double cycles_to_seconds(std::uint64_t cycles, double hz);
+
+/// Auto-scaled unit ("813us", "4.21ms", "1.37s", "2m05.33s") — simulated
+/// inputs are scaled down from the paper's, so runs last micro- to
+/// milliseconds and fixed-unit formatting would print all zeros.
+std::string auto_time(double seconds);
+
+}  // namespace fsml::util

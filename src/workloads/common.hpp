@@ -1,0 +1,56 @@
+// Shared kernel-building helpers for the workload proxies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "exec/machine.hpp"
+#include "trainers/trainer.hpp"  // Traversal, make_slots
+#include "workloads/workload.hpp"
+
+namespace fsml::workloads {
+
+constexpr std::uint64_t kElem = 8;
+
+/// Retires `base` instructions scaled by the modelled optimization level,
+/// carrying the fractional remainder across calls so long loops average to
+/// exactly base * scale.
+class ScaledCompute {
+ public:
+  explicit ScaledCompute(OptLevel opt) : scale_(opt_instruction_scale(opt)) {}
+
+  void operator()(exec::ThreadCtx& ctx, double base) {
+    acc_ += base * scale_;
+    const auto n = static_cast<std::uint64_t>(acc_);
+    if (n > 0) {
+      ctx.compute(n);
+      acc_ -= static_cast<double>(n);
+    }
+  }
+
+ private:
+  double scale_;
+  double acc_ = 0.0;
+};
+
+struct Share {
+  std::uint64_t begin = 0;
+  std::uint64_t count = 0;
+};
+
+inline Share share_of(std::uint64_t n, std::uint32_t threads,
+                      std::uint32_t t) {
+  const std::uint64_t base = n / threads;
+  const std::uint64_t extra = n % threads;
+  const std::uint64_t begin = t * base + std::min<std::uint64_t>(t, extra);
+  return {begin, base + (t < extra ? 1 : 0)};
+}
+
+/// Deterministic pseudo-random index hash (stateless, cheap).
+inline std::uint64_t index_hash(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace fsml::workloads

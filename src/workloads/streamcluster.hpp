@@ -1,0 +1,35 @@
+// StreamclusterWorkload is exposed as a concrete class (unlike the other
+// proxies) because the paper's §4.3 experiment varies its CACHE_LINE
+// padding: the original source pads per-thread work memory to 32 bytes; the
+// suggested "fix" sets 64. The paper found residual false sharing even
+// after the fix (simsmall, T=8) — reproduce with:
+//
+//   StreamclusterWorkload fixed(64);
+//   run_workload(fixed, {...}, config);
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.hpp"
+
+namespace fsml::workloads {
+
+class StreamclusterWorkload final : public Workload {
+ public:
+  /// `pad_bytes`: the CACHE_LINE constant in the original source. 32 (the
+  /// shipped value) packs two threads' cost slots per 64-byte line.
+  explicit StreamclusterWorkload(std::uint32_t pad_bytes = 32)
+      : pad_bytes_(pad_bytes) {}
+
+  std::string_view name() const override;
+  Suite suite() const override;
+  std::vector<std::string> input_sets() const override;
+  void build(exec::Machine& machine, const WorkloadCase& wcase) const override;
+
+  std::uint32_t pad_bytes() const { return pad_bytes_; }
+
+ private:
+  std::uint32_t pad_bytes_;
+};
+
+}  // namespace fsml::workloads

@@ -1,0 +1,108 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace fsml::workloads {
+
+std::string_view to_string(OptLevel opt) {
+  switch (opt) {
+    case OptLevel::kO0: return "-O0";
+    case OptLevel::kO1: return "-O1";
+    case OptLevel::kO2: return "-O2";
+    case OptLevel::kO3: return "-O3";
+  }
+  return "?";
+}
+
+OptLevel opt_from_string(std::string_view s) {
+  if (s == "-O0" || s == "O0" || s == "0") return OptLevel::kO0;
+  if (s == "-O1" || s == "O1" || s == "1") return OptLevel::kO1;
+  if (s == "-O2" || s == "O2" || s == "2") return OptLevel::kO2;
+  if (s == "-O3" || s == "O3" || s == "3") return OptLevel::kO3;
+  throw std::runtime_error("unknown optimization level: " + std::string(s));
+}
+
+double opt_instruction_scale(OptLevel opt) {
+  switch (opt) {
+    case OptLevel::kO0: return 3.0;
+    case OptLevel::kO1: return 1.5;
+    case OptLevel::kO2: return 1.0;
+    case OptLevel::kO3: return 0.95;
+  }
+  return 1.0;
+}
+
+std::string_view to_string(Suite suite) {
+  return suite == Suite::kPhoenix ? "Phoenix" : "PARSEC";
+}
+
+std::vector<OptLevel> Workload::opt_levels() const {
+  // The paper's sweeps: Phoenix tables use -O0/-O1/-O2, PARSEC tables use
+  // -O1/-O2/-O3.
+  if (suite() == Suite::kPhoenix)
+    return {OptLevel::kO0, OptLevel::kO1, OptLevel::kO2};
+  return {OptLevel::kO1, OptLevel::kO2, OptLevel::kO3};
+}
+
+std::uint64_t Workload::input_size(const std::vector<std::string>& names,
+                                   const std::vector<std::uint64_t>& sizes,
+                                   const std::string& input) const {
+  FSML_CHECK(names.size() == sizes.size());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == input) return sizes[i];
+  throw std::runtime_error("workload '" + std::string(name()) +
+                           "': unknown input set '" + input + "'");
+}
+
+namespace detail {
+std::vector<const Workload*> phoenix_workloads();
+std::vector<const Workload*> parsec_workloads();
+}  // namespace detail
+
+const std::vector<const Workload*>& phoenix_suite() {
+  static const std::vector<const Workload*> suite =
+      detail::phoenix_workloads();
+  return suite;
+}
+
+const std::vector<const Workload*>& parsec_suite() {
+  static const std::vector<const Workload*> suite = detail::parsec_workloads();
+  return suite;
+}
+
+std::vector<const Workload*> all_workloads() {
+  std::vector<const Workload*> all = phoenix_suite();
+  const auto& parsec = parsec_suite();
+  all.insert(all.end(), parsec.begin(), parsec.end());
+  return all;
+}
+
+const Workload& find_workload(std::string_view name) {
+  for (const Workload* w : all_workloads())
+    if (w->name() == name) return *w;
+  throw std::runtime_error("unknown workload: " + std::string(name));
+}
+
+WorkloadRun run_workload(const Workload& workload, const WorkloadCase& wcase,
+                         const sim::MachineConfig& base_config,
+                         sim::AccessObserver* observer) {
+  FSML_CHECK(wcase.threads >= 1);
+  sim::MachineConfig config = base_config;
+  config.num_cores = wcase.threads;
+  exec::Machine machine(config, wcase.seed);
+  if (observer) machine.memory().add_observer(observer);
+  workload.build(machine, wcase);
+  FSML_CHECK(machine.num_threads() == wcase.threads);
+
+  WorkloadRun run;
+  run.result = machine.run();
+  run.snapshot = pmu::CounterSnapshot::from_raw(run.result.aggregate);
+  run.features = pmu::FeatureVector::normalize(run.snapshot);
+  run.seconds = run.result.seconds;
+  return run;
+}
+
+}  // namespace fsml::workloads

@@ -1,0 +1,96 @@
+// Workload proxies for the Phoenix and PARSEC benchmark programs the paper
+// classifies in Section 4.
+//
+// Each proxy is a simulated kernel whose *memory-access structure* models
+// the published behaviour of the corresponding benchmark:
+//  * linear_regression — per-thread accumulator structs that share cache
+//    lines; gcc >= -O2 register-promotes the accumulators, which is the
+//    paper's explanation for the -O2 column turning "good" (Table 6);
+//  * streamcluster — the CACHE_LINE=32 padding bug (32-byte padded
+//    per-thread cost slots on 64-byte lines) plus spin-lock barriers whose
+//    wait time inflates the instruction count non-deterministically
+//    (Table 8's top-right-cell discussion);
+//  * matrix_multiply — naive loop order, a pure bad-memory-access program;
+//  * everything else — streaming / private-accumulator kernels that are
+//    "good" by construction (matching the paper's 100%-good columns).
+//
+// The modelled compiler optimization level scales the per-element
+// instruction count (O0 executes ~3x the instructions of O2) and switches
+// workload-specific codegen behaviours such as register promotion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/machine.hpp"
+#include "pmu/counters.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/observer.hpp"
+#include "trainers/trainer.hpp"
+
+namespace fsml::workloads {
+
+enum class OptLevel : std::uint8_t { kO0, kO1, kO2, kO3 };
+
+std::string_view to_string(OptLevel opt);
+OptLevel opt_from_string(std::string_view s);
+
+/// Instruction-count multiplier of the modelled optimization level,
+/// relative to -O2 (unoptimized code executes ~3x the instructions).
+double opt_instruction_scale(OptLevel opt);
+
+enum class Suite : std::uint8_t { kPhoenix, kParsec };
+
+std::string_view to_string(Suite suite);
+
+struct WorkloadCase {
+  std::string input;             ///< one of the workload's input_sets()
+  OptLevel opt = OptLevel::kO2;
+  std::uint32_t threads = 4;
+  std::uint64_t seed = 1;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual Suite suite() const = 0;
+  /// Input-set names, smallest first (Phoenix: sizes; PARSEC: sim*).
+  virtual std::vector<std::string> input_sets() const = 0;
+  /// Optimization levels the paper swept for this suite.
+  std::vector<OptLevel> opt_levels() const;
+  /// Allocates simulated data and spawns `threads` kernels.
+  virtual void build(exec::Machine& machine,
+                     const WorkloadCase& wcase) const = 0;
+
+ protected:
+  /// Resolves an input name to the workload's element count.
+  std::uint64_t input_size(const std::vector<std::string>& names,
+                           const std::vector<std::uint64_t>& sizes,
+                           const std::string& input) const;
+};
+
+/// All Phoenix proxies in paper (Table 5) order.
+const std::vector<const Workload*>& phoenix_suite();
+/// All PARSEC proxies in paper (Table 5) order.
+const std::vector<const Workload*>& parsec_suite();
+std::vector<const Workload*> all_workloads();
+const Workload& find_workload(std::string_view name);
+
+struct WorkloadRun {
+  exec::RunResult result;
+  pmu::CounterSnapshot snapshot;
+  pmu::FeatureVector features;
+  double seconds = 0.0;
+};
+
+/// Runs one case on a machine with `threads` cores. If `observer` is
+/// non-null it is attached for the whole run (ground-truth detectors).
+WorkloadRun run_workload(const Workload& workload, const WorkloadCase& wcase,
+                         const sim::MachineConfig& base_config,
+                         sim::AccessObserver* observer = nullptr);
+
+}  // namespace fsml::workloads

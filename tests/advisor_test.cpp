@@ -1,0 +1,137 @@
+// Tests for the mitigation advisor: allocation attribution, false- vs
+// true-sharing remedies, noise filtering, padding-cost arithmetic, and the
+// end-to-end detect -> advise -> apply-fix -> verify loop.
+#include <gtest/gtest.h>
+
+#include "baseline/shadow_detector.hpp"
+#include "core/advisor.hpp"
+#include "exec/machine.hpp"
+#include "sim/machine_config.hpp"
+
+namespace {
+
+using namespace fsml;
+using sim::AccessType;
+
+sim::AccessRecord rec(sim::CoreId core, sim::Addr addr, AccessType type) {
+  return sim::AccessRecord{core, addr, 8, type, sim::ServiceLevel::kL1, 0};
+}
+
+TEST(Arena, NamedAllocationsAreFindable) {
+  exec::VirtualArena arena;
+  const sim::Addr a = arena.alloc_named("stats", 256, 8);
+  const sim::Addr b = arena.alloc_line_aligned_named("queue", 64);
+  const auto found_a = arena.find_allocation(a + 100);
+  ASSERT_TRUE(found_a.has_value());
+  EXPECT_EQ(found_a->name, "stats");
+  const auto found_b = arena.find_allocation(b);
+  ASSERT_TRUE(found_b.has_value());
+  EXPECT_EQ(found_b->name, "queue");
+  EXPECT_FALSE(arena.find_allocation(b + 4096).has_value());
+  EXPECT_EQ(arena.allocations().size(), 2u);
+  arena.reset();
+  EXPECT_TRUE(arena.allocations().empty());
+}
+
+TEST(Advisor, RecommendsPaddingForFalseSharing) {
+  exec::VirtualArena arena;
+  const sim::Addr stats = arena.alloc_line_aligned_named("worker_stats", 64);
+  baseline::ShadowDetector shadow(4);
+  for (int i = 0; i < 50; ++i)
+    for (sim::CoreId t = 0; t < 4; ++t)
+      shadow.on_access(rec(t, stats + 8 * t, AccessType::kRmw));
+
+  const auto report = core::advise(shadow.report(), arena);
+  ASSERT_FALSE(report.recommendations.empty());
+  const auto& r = report.recommendations.front();
+  EXPECT_EQ(r.remedy, core::Remedy::kPadToLine);
+  EXPECT_EQ(r.allocation, "worker_stats");
+  EXPECT_EQ(r.writers, 4u);
+  EXPECT_EQ(r.padding_cost_bytes, 3u * 64u);
+  EXPECT_NE(r.text.find("worker_stats"), std::string::npos);
+  EXPECT_NE(r.text.find("alignas(64)"), std::string::npos);
+  EXPECT_TRUE(report.has_false_sharing);
+}
+
+TEST(Advisor, TrueSharingGetsAlgorithmicRemedy) {
+  exec::VirtualArena arena;
+  const sim::Addr counter = arena.alloc_line_aligned_named("global_count", 8);
+  baseline::ShadowDetector shadow(4);
+  for (int i = 0; i < 50; ++i)
+    for (sim::CoreId t = 0; t < 4; ++t)
+      shadow.on_access(rec(t, counter, AccessType::kRmw));  // same bytes
+
+  const auto report = core::advise(shadow.report(), arena);
+  ASSERT_FALSE(report.recommendations.empty());
+  EXPECT_EQ(report.recommendations.front().remedy,
+            core::Remedy::kReduceSharing);
+  EXPECT_FALSE(report.has_false_sharing);  // true sharing != false sharing
+}
+
+TEST(Advisor, NoiseLinesFiltered) {
+  exec::VirtualArena arena;
+  const sim::Addr a = arena.alloc_line_aligned_named("rare", 64);
+  baseline::ShadowDetector shadow(2);
+  shadow.on_access(rec(0, a, AccessType::kStore));
+  shadow.on_access(rec(1, a + 8, AccessType::kStore));
+  shadow.on_access(rec(0, a, AccessType::kStore));
+  const auto report = core::advise(shadow.report(), arena, 64,
+                                   /*min_events=*/16);
+  EXPECT_TRUE(report.recommendations.empty());
+}
+
+TEST(Advisor, UnnamedAllocationsStillReported) {
+  exec::VirtualArena arena;
+  const sim::Addr anon = arena.alloc_line_aligned(64);  // not named
+  baseline::ShadowDetector shadow(2);
+  for (int i = 0; i < 50; ++i) {
+    shadow.on_access(rec(0, anon, AccessType::kStore));
+    shadow.on_access(rec(1, anon + 32, AccessType::kStore));
+  }
+  const auto report = core::advise(shadow.report(), arena);
+  ASSERT_FALSE(report.recommendations.empty());
+  EXPECT_EQ(report.recommendations.front().allocation, "<unnamed>");
+}
+
+TEST(Advisor, EndToEndFixVerification) {
+  // The full loop: detect false sharing, apply the recommended padding,
+  // verify the fix removes it.
+  const auto run_with_stride = [](std::uint32_t stride) {
+    exec::Machine m(sim::MachineConfig::westmere_dp(4), 3);
+    baseline::ShadowDetector shadow(4);
+    m.memory().add_observer(&shadow);
+    const sim::Addr slots = m.arena().alloc_line_aligned_named(
+        "accumulators", std::uint64_t{stride} * 4);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      const sim::Addr mine = slots + std::uint64_t{stride} * t;
+      m.spawn([mine](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 2000; ++i) {
+          co_await ctx.rmw(mine);
+          ctx.compute(2);
+        }
+      });
+    }
+    m.run();
+    return core::advise(shadow.report(), m.arena());
+  };
+
+  const auto buggy = run_with_stride(8);
+  ASSERT_TRUE(buggy.has_false_sharing);
+  ASSERT_FALSE(buggy.recommendations.empty());
+  EXPECT_EQ(buggy.recommendations.front().remedy, core::Remedy::kPadToLine);
+  EXPECT_EQ(buggy.recommendations.front().allocation, "accumulators");
+
+  const auto fixed = run_with_stride(64);  // the recommendation applied
+  EXPECT_FALSE(fixed.has_false_sharing);
+  for (const auto& r : fixed.recommendations)
+    EXPECT_NE(r.remedy, core::Remedy::kPadToLine);
+}
+
+TEST(Advisor, ReportRendering) {
+  exec::VirtualArena arena;
+  baseline::SharingReport empty;
+  EXPECT_NE(core::advise(empty, arena).to_string().find("no contended"),
+            std::string::npos);
+}
+
+}  // namespace

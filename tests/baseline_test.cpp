@@ -1,0 +1,220 @@
+// Tests for the ground-truth detectors: the Zhao-style shadow-memory
+// contention tracker (byte-overlap classification of invalidation misses,
+// cold-miss handling, the 8-thread limit, the cold-as-FS flaw switch) and
+// the SHERIFF-style epoch write-diff detector.
+#include <gtest/gtest.h>
+
+#include "baseline/epoch_detector.hpp"
+#include "baseline/shadow_detector.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+using sim::AccessRecord;
+using sim::AccessType;
+
+AccessRecord rec(sim::CoreId core, sim::Addr addr, std::uint32_t size,
+                 AccessType type) {
+  return AccessRecord{core, addr, size, type, sim::ServiceLevel::kL1, 0};
+}
+
+constexpr sim::Addr kLine = 0x4000;
+
+// ---- shadow detector ---------------------------------------------------------
+
+TEST(ShadowDetector, DisjointWritesAreFalseSharing) {
+  baseline::ShadowDetector d(2);
+  // Thread 0 writes bytes 0-7, thread 1 writes bytes 32-39, repeatedly.
+  for (int i = 0; i < 10; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine + 32, 8, AccessType::kStore));
+  }
+  const auto r = d.report();
+  EXPECT_GT(r.false_sharing_misses, 15u);
+  EXPECT_EQ(r.true_sharing_misses, 0u);
+}
+
+TEST(ShadowDetector, OverlappingWritesAreTrueSharing) {
+  baseline::ShadowDetector d(2);
+  for (int i = 0; i < 10; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine, 8, AccessType::kStore));  // same bytes
+  }
+  const auto r = d.report();
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+  EXPECT_GT(r.true_sharing_misses, 15u);
+}
+
+TEST(ShadowDetector, ReaderOfForeignBytesIsTrueSharing) {
+  baseline::ShadowDetector d(2);
+  d.on_access(rec(0, kLine, 8, AccessType::kStore));
+  d.on_access(rec(1, kLine, 8, AccessType::kLoad));  // reads written bytes
+  d.on_access(rec(0, kLine, 8, AccessType::kStore)); // invalidates reader
+  d.on_access(rec(1, kLine, 8, AccessType::kLoad));
+  const auto r = d.report();
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+  EXPECT_GE(r.true_sharing_misses, 1u);
+}
+
+TEST(ShadowDetector, ReaderOfDisjointBytesIsFalseSharing) {
+  baseline::ShadowDetector d(2);
+  d.on_access(rec(1, kLine + 32, 8, AccessType::kLoad));  // establish copy
+  for (int i = 0; i < 5; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine + 32, 8, AccessType::kLoad));
+  }
+  const auto r = d.report();
+  EXPECT_GE(r.false_sharing_misses, 5u);
+  EXPECT_EQ(r.true_sharing_misses, 0u);
+}
+
+TEST(ShadowDetector, ColdMissesAreNotContention) {
+  baseline::ShadowDetector d(4);
+  for (sim::CoreId t = 0; t < 4; ++t)
+    d.on_access(rec(t, kLine + 64 * t, 8, AccessType::kLoad));
+  const auto r = d.report();
+  EXPECT_EQ(r.cold_misses, 4u);
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+}
+
+TEST(ShadowDetector, ColdAsFsFlagReproducesHistogramFlaw) {
+  // The original tool misattributed cold misses on written lines as FS —
+  // the histogram false positive the paper discusses in Section 5.
+  baseline::ShadowDetectorOptions opts;
+  opts.count_cold_as_fs = true;
+  baseline::ShadowDetector flawed(2, opts);
+  flawed.on_access(rec(0, kLine, 8, AccessType::kStore));
+  flawed.on_access(rec(1, kLine + 32, 8, AccessType::kLoad));  // cold!
+  EXPECT_EQ(flawed.report().false_sharing_misses, 1u);
+
+  baseline::ShadowDetector correct(2);
+  correct.on_access(rec(0, kLine, 8, AccessType::kStore));
+  correct.on_access(rec(1, kLine + 32, 8, AccessType::kLoad));
+  EXPECT_EQ(correct.report().false_sharing_misses, 0u);
+}
+
+TEST(ShadowDetector, RateUsesInstructions) {
+  baseline::ShadowDetector d(2);
+  d.on_access(rec(0, kLine, 8, AccessType::kStore));
+  d.on_access(rec(1, kLine + 32, 8, AccessType::kStore));
+  d.on_access(rec(0, kLine, 8, AccessType::kStore));
+  d.on_instructions(0, 997);  // plus 3 access instructions -> 1000 total
+  const auto r = d.report();
+  EXPECT_EQ(r.instructions, 1000u);
+  EXPECT_NEAR(r.false_sharing_rate(),
+              static_cast<double>(r.false_sharing_misses) / 1000.0, 1e-12);
+}
+
+TEST(ShadowDetector, ThresholdRule) {
+  baseline::SharingReport r;
+  r.instructions = 1000;
+  r.false_sharing_misses = 1;
+  EXPECT_FALSE(r.has_false_sharing());  // 1e-3 is NOT strictly greater
+  r.false_sharing_misses = 2;
+  EXPECT_TRUE(r.has_false_sharing());
+}
+
+TEST(ShadowDetector, EightThreadLimit) {
+  EXPECT_NO_THROW(baseline::ShadowDetector d(8));
+  EXPECT_THROW(baseline::ShadowDetector d(9), util::CheckFailure);
+}
+
+TEST(ShadowDetector, TopLinesRankedByFsEvents) {
+  baseline::ShadowDetector d(2);
+  // Heavy FS on line A, light on line B.
+  for (int i = 0; i < 20; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine + 32, 8, AccessType::kStore));
+  }
+  d.on_access(rec(0, kLine + 0x100, 8, AccessType::kStore));
+  d.on_access(rec(1, kLine + 0x120, 8, AccessType::kStore));
+  d.on_access(rec(0, kLine + 0x100, 8, AccessType::kStore));
+  const auto r = d.report();
+  ASSERT_GE(r.top_lines.size(), 2u);
+  EXPECT_EQ(r.top_lines[0].line, kLine);
+  EXPECT_GT(r.top_lines[0].false_sharing_events,
+            r.top_lines[1].false_sharing_events);
+  EXPECT_EQ(r.top_lines[0].writer_mask, 0x3u);
+}
+
+TEST(ShadowDetector, LineCrossingAccessSplit) {
+  baseline::ShadowDetector d(2);
+  d.on_access(rec(0, kLine + 60, 8, AccessType::kStore));  // spans 2 lines
+  const auto r = d.report();
+  EXPECT_EQ(r.accesses, 2u);
+  EXPECT_EQ(r.instructions, 1u);  // still one instruction
+}
+
+TEST(ShadowDetector, SameThreadNeverContendsWithItself) {
+  baseline::ShadowDetector d(2);
+  for (int i = 0; i < 50; ++i)
+    d.on_access(rec(0, kLine + 8 * (i % 8), 8, AccessType::kRmw));
+  const auto r = d.report();
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+  EXPECT_EQ(r.true_sharing_misses, 0u);
+}
+
+// ---- epoch detector -----------------------------------------------------------
+
+TEST(EpochDetector, DisjointWritersInOneEpochAreFalseSharing) {
+  baseline::EpochDetectorOptions opts;
+  opts.epoch_instructions = 1000;
+  baseline::EpochDetector d(2, opts);
+  for (int i = 0; i < 10; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine + 32, 8, AccessType::kStore));
+  }
+  const auto r = d.report();
+  EXPECT_GT(r.false_sharing_misses, 0u);
+  EXPECT_EQ(r.true_sharing_misses, 0u);
+}
+
+TEST(EpochDetector, OverlappingWritersAreTrueSharing) {
+  baseline::EpochDetector d(2);
+  for (int i = 0; i < 10; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine, 8, AccessType::kStore));
+  }
+  const auto r = d.report();
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+  EXPECT_GT(r.true_sharing_misses, 0u);
+}
+
+TEST(EpochDetector, ReadsAreInvisible) {
+  // SHERIFF's write-diff design cannot see reader-side contention.
+  baseline::EpochDetector d(2);
+  for (int i = 0; i < 20; ++i) {
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+    d.on_access(rec(1, kLine + 32, 8, AccessType::kLoad));
+  }
+  const auto r = d.report();
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+}
+
+TEST(EpochDetector, WritersInDifferentEpochsDoNotContend) {
+  baseline::EpochDetectorOptions opts;
+  opts.epoch_instructions = 5;
+  baseline::EpochDetector d(2, opts);
+  for (int i = 0; i < 10; ++i)
+    d.on_access(rec(0, kLine, 8, AccessType::kStore));
+  // Epochs roll over; thread 1 writes long after thread 0 stopped.
+  for (int i = 0; i < 10; ++i)
+    d.on_access(rec(1, kLine + 32, 8, AccessType::kStore));
+  const auto r = d.report();
+  EXPECT_EQ(r.false_sharing_misses, 0u);
+  EXPECT_GT(d.epochs_committed(), 2u);
+}
+
+TEST(EpochDetector, FinalPartialEpochCommitted) {
+  baseline::EpochDetectorOptions opts;
+  opts.epoch_instructions = 1000000;  // never rolls over on its own
+  baseline::EpochDetector d(2, opts);
+  d.on_access(rec(0, kLine, 8, AccessType::kStore));
+  d.on_access(rec(1, kLine + 32, 8, AccessType::kStore));
+  const auto r = d.report();  // forces the final commit
+  EXPECT_GT(r.false_sharing_misses, 0u);
+  EXPECT_EQ(d.epochs_committed(), 1u);
+}
+
+}  // namespace

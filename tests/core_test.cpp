@@ -1,0 +1,210 @@
+// Tests for the core pipeline: labels, training-data collection (census,
+// filtering, CSV round trip), the event-selection procedure (reduced), and
+// the public detector API (training, classification, majority vote,
+// persistence).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/detector.hpp"
+#include "core/event_selection.hpp"
+#include "core/training.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+using trainers::Mode;
+
+// A small-but-real training run shared by the tests in this file.
+const core::TrainingData& reduced_data() {
+  static const core::TrainingData data = [] {
+    core::TrainingConfig config = core::TrainingConfig::reduced();
+    return core::collect_training_data(config);
+  }();
+  return data;
+}
+
+TEST(Labels, RoundTrip) {
+  for (const Mode m : {Mode::kGood, Mode::kBadFs, Mode::kBadMa})
+    EXPECT_EQ(core::mode_of(core::label_of(m)), m);
+  EXPECT_EQ(core::class_names().size(), 3u);
+}
+
+TEST(Training, CensusAccountsForEveryInstance) {
+  const core::TrainingData& data = reduced_data();
+  const std::size_t expected = data.census_a.final_total() +
+                               data.census_b.final_total();
+  EXPECT_EQ(data.instances.size(), expected);
+  EXPECT_GT(data.census_a.initial_good, 0u);
+  EXPECT_GT(data.census_a.initial_bad_fs, 0u);
+  EXPECT_GT(data.census_b.initial_bad_ma, 0u);
+  EXPECT_EQ(data.census_b.initial_bad_fs, 0u);  // no sequential bad-fs
+}
+
+TEST(Training, AllThreeClassesPresent) {
+  const auto counts = reduced_data().to_dataset().class_counts();
+  EXPECT_GT(counts[core::kGood], 0u);
+  EXPECT_GT(counts[core::kBadFs], 0u);
+  EXPECT_GT(counts[core::kBadMa], 0u);
+}
+
+TEST(Training, InstancesCarryProvenance) {
+  for (const core::LabeledInstance& inst : reduced_data().instances) {
+    EXPECT_FALSE(inst.program.empty());
+    EXPECT_GT(inst.size, 0u);
+    EXPECT_GE(inst.threads, 1u);
+    EXPECT_GT(inst.seconds, 0.0);
+  }
+}
+
+TEST(Training, PartBIsSequentialOnly) {
+  for (const core::LabeledInstance& inst : reduced_data().instances)
+    if (!inst.part_a) EXPECT_EQ(inst.threads, 1u);
+}
+
+TEST(Training, CsvRoundTripPreservesEverything) {
+  const core::TrainingData& data = reduced_data();
+  std::stringstream ss;
+  data.save_csv(ss);
+  const core::TrainingData back = core::TrainingData::load_csv(ss);
+  ASSERT_EQ(back.instances.size(), data.instances.size());
+  EXPECT_EQ(back.census_a.initial_good, data.census_a.initial_good);
+  EXPECT_EQ(back.census_b.removed_good, data.census_b.removed_good);
+  for (std::size_t i = 0; i < data.instances.size(); ++i) {
+    const auto& a = data.instances[i];
+    const auto& b = back.instances[i];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.program, b.program);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.threads, b.threads);
+    EXPECT_EQ(a.part_a, b.part_a);
+    for (std::size_t f = 0; f < pmu::kNumFeatures; ++f)
+      EXPECT_DOUBLE_EQ(a.features.at(f), b.features.at(f));
+  }
+}
+
+TEST(Training, LoadCsvRejectsGarbage) {
+  std::stringstream ss("not a training file");
+  EXPECT_THROW(core::TrainingData::load_csv(ss), std::exception);
+}
+
+TEST(Training, DeterministicForSeed) {
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  const auto a = core::collect_training_data(config);
+  const auto b = core::collect_training_data(config);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.instances[i].seconds, b.instances[i].seconds);
+}
+
+TEST(Training, FilterCanBeDisabled) {
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  config.filter = false;
+  const auto data = core::collect_training_data(config);
+  EXPECT_EQ(data.census_a.removed_bad_ma, 0u);
+  EXPECT_EQ(data.census_b.removed_good, 0u);
+}
+
+// ---- detector ----------------------------------------------------------------
+
+TEST(Detector, TrainsAndSeparatesTrainingData) {
+  core::FalseSharingDetector detector;
+  detector.train(reduced_data());
+  EXPECT_TRUE(detector.trained());
+  std::size_t correct = 0;
+  for (const core::LabeledInstance& inst : reduced_data().instances)
+    if (core::label_of(detector.classify(inst.features)) == inst.label)
+      ++correct;
+  EXPECT_GT(static_cast<double>(correct) /
+                static_cast<double>(reduced_data().instances.size()),
+            0.97);
+}
+
+TEST(Detector, UntrainedThrows) {
+  core::FalseSharingDetector detector;
+  EXPECT_THROW(detector.classify(pmu::FeatureVector{}), util::CheckFailure);
+}
+
+TEST(Detector, MajorityVote) {
+  using V = std::vector<Mode>;
+  EXPECT_EQ(core::FalseSharingDetector::majority(
+                V{Mode::kGood, Mode::kGood, Mode::kBadFs}),
+            Mode::kGood);
+  EXPECT_EQ(core::FalseSharingDetector::majority(
+                V{Mode::kBadFs, Mode::kBadFs, Mode::kGood}),
+            Mode::kBadFs);
+  // Plurality (the paper's streamcluster: 15 fs / 11 good / 10 ma).
+  V plurality;
+  plurality.insert(plurality.end(), 15, Mode::kBadFs);
+  plurality.insert(plurality.end(), 11, Mode::kGood);
+  plurality.insert(plurality.end(), 10, Mode::kBadMa);
+  EXPECT_EQ(core::FalseSharingDetector::majority(plurality), Mode::kBadFs);
+  // Ties resolve to the worse verdict.
+  EXPECT_EQ(core::FalseSharingDetector::majority(
+                V{Mode::kGood, Mode::kBadFs}),
+            Mode::kBadFs);
+  EXPECT_EQ(core::FalseSharingDetector::majority(
+                V{Mode::kGood, Mode::kBadMa}),
+            Mode::kBadMa);
+  EXPECT_THROW(core::FalseSharingDetector::majority(V{}),
+               util::CheckFailure);
+}
+
+TEST(Detector, SaveLoadRoundTrip) {
+  core::FalseSharingDetector detector;
+  detector.train(reduced_data());
+  std::stringstream ss;
+  detector.save(ss);
+  const core::FalseSharingDetector loaded =
+      core::FalseSharingDetector::load(ss);
+  for (std::size_t i = 0; i < std::min<std::size_t>(
+                              reduced_data().instances.size(), 50);
+       ++i) {
+    const auto& inst = reduced_data().instances[i];
+    EXPECT_EQ(loaded.classify(inst.features),
+              detector.classify(inst.features));
+  }
+}
+
+TEST(Detector, RootSplitsOnHitm) {
+  core::FalseSharingDetector detector;
+  detector.train(reduced_data());
+  const auto* root = detector.model().root();
+  ASSERT_NE(root, nullptr);
+  ASSERT_FALSE(root->is_leaf);
+  EXPECT_EQ(static_cast<pmu::WestmereEvent>(root->attribute),
+            pmu::WestmereEvent::kSnoopResponseHitM);
+}
+
+// ---- event selection ------------------------------------------------------------
+
+TEST(EventSelection, FindsHitmAsFsDiscriminator) {
+  core::EventSelectionConfig config;
+  config.thread_counts = {3, 6};  // reduced for test speed
+  const auto result = core::select_events(config);
+  const auto& fs = result.fs_discriminators;
+  EXPECT_NE(std::find(fs.begin(), fs.end(),
+                      sim::RawEvent::kSnoopResponseHitM),
+            fs.end())
+      << "HITM must discriminate good vs bad-fs";
+  EXPECT_FALSE(result.ma_discriminators.empty());
+  // Steps are disjoint.
+  for (const sim::RawEvent e : result.ma_discriminators)
+    EXPECT_EQ(std::find(fs.begin(), fs.end(), e), fs.end());
+  // Selected = union, stats cover all candidates.
+  EXPECT_EQ(result.selected.size(),
+            fs.size() + result.ma_discriminators.size());
+}
+
+TEST(EventSelection, StricterRatioSelectsFewer) {
+  core::EventSelectionConfig loose;
+  loose.thread_counts = {3};
+  core::EventSelectionConfig strict = loose;
+  strict.ratio_threshold = 50.0;
+  const auto a = core::select_events(loose);
+  const auto b = core::select_events(strict);
+  EXPECT_LE(b.selected.size(), a.selected.size());
+}
+
+}  // namespace

@@ -1,0 +1,413 @@
+// Unit and property tests for the ML library: information-theory math,
+// C4.5 construction/pruning/serialization, companion classifiers, the
+// evaluation framework and dataset IO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml/c45.hpp"
+#include "ml/eval.hpp"
+#include "ml/forest.hpp"
+#include "ml/io.hpp"
+#include "ml/knn.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/simple.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fsml;
+using ml::Dataset;
+
+// ---- helpers ---------------------------------------------------------------
+
+Dataset two_class_schema() {
+  return Dataset({"a", "b"}, {"neg", "pos"});
+}
+
+/// Linearly separable blobs: class = (a > 5).
+Dataset separable(std::size_t n_per_class, util::Rng& rng) {
+  Dataset d = two_class_schema();
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    d.add({2.0 + rng.next_double(), rng.next_double() * 10}, 0);
+    d.add({8.0 + rng.next_double(), rng.next_double() * 10}, 1);
+  }
+  return d;
+}
+
+/// Three-class data mimicking the paper's feature shape: class decided by
+/// two thresholded attributes plus noise dimensions.
+Dataset three_class(std::size_t n_per_class, util::Rng& rng,
+                    double label_noise = 0.0) {
+  Dataset d({"hitm", "repl", "noise1", "noise2"},
+            {"good", "bad-fs", "bad-ma"});
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const double n1 = rng.next_double(), n2 = rng.next_double();
+    int y0 = 0;
+    d.add({rng.next_double() * 1e-4, rng.next_double() * 0.05, n1, n2}, y0);
+    int y1 = 1;
+    d.add({0.01 + rng.next_double() * 0.1, rng.next_double() * 0.2, n1, n2},
+          y1);
+    int y2 = 2;
+    d.add({rng.next_double() * 1e-4, 0.5 + rng.next_double() * 0.5, n1, n2},
+          y2);
+    if (label_noise > 0 && rng.next_bool(label_noise)) {
+      // mislabel one instance per draw
+    }
+  }
+  return d;
+}
+
+// ---- entropy / pruning math ------------------------------------------------
+
+TEST(Entropy, UniformIsLog2K) {
+  const double counts[] = {10, 10, 10, 10};
+  EXPECT_NEAR(ml::entropy(counts), 2.0, 1e-12);
+}
+
+TEST(Entropy, PureIsZero) {
+  const double counts[] = {42, 0, 0};
+  EXPECT_DOUBLE_EQ(ml::entropy(counts), 0.0);
+}
+
+TEST(Entropy, BinaryHalfIsOne) {
+  const double counts[] = {7, 7};
+  EXPECT_NEAR(ml::entropy(counts), 1.0, 1e-12);
+}
+
+TEST(Entropy, EmptyIsZero) {
+  const double counts[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ml::entropy(counts), 0.0);
+}
+
+TEST(AddedErrors, ZeroErrorsStillPessimistic) {
+  // U_CF(0, n) > 0: a pure leaf still gets charged some future error.
+  const double add = ml::added_errors(10, 0, 0.25);
+  EXPECT_GT(add, 0.0);
+  EXPECT_LT(add, 10.0);
+}
+
+TEST(AddedErrors, MonotonicInConfidence) {
+  // Smaller confidence factor => more pessimism => more added errors.
+  EXPECT_GT(ml::added_errors(20, 3, 0.10), ml::added_errors(20, 3, 0.50));
+}
+
+TEST(AddedErrors, DecreasesWithMoreData) {
+  // Same error *rate*, more data => proportionally fewer added errors.
+  const double small = ml::added_errors(10, 2, 0.25) / 10;
+  const double large = ml::added_errors(1000, 200, 0.25) / 1000;
+  EXPECT_GT(small, large);
+}
+
+TEST(AddedErrors, NearTotalErrorClamps) {
+  EXPECT_DOUBLE_EQ(ml::added_errors(10, 10, 0.25), 0.0);
+}
+
+// ---- C4.5 ------------------------------------------------------------------
+
+TEST(C45, LearnsSeparableDataPerfectly) {
+  util::Rng rng(1);
+  const Dataset d = separable(50, rng);
+  ml::C45Tree tree;
+  tree.train(d);
+  for (const auto& inst : d.instances())
+    EXPECT_EQ(tree.predict(inst.x), inst.y);
+  // One threshold on attribute 'a' suffices.
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  ASSERT_EQ(tree.used_attributes().size(), 1u);
+  EXPECT_EQ(tree.used_attributes()[0], 0u);
+  const auto* root = tree.root();
+  ASSERT_FALSE(root->is_leaf);
+  EXPECT_GT(root->threshold, 3.0);
+  EXPECT_LT(root->threshold, 8.0);
+}
+
+TEST(C45, ThreeClassDataUsesSignalAttributesOnly) {
+  util::Rng rng(2);
+  const Dataset d = three_class(60, rng);
+  ml::C45Tree tree;
+  tree.train(d);
+  EXPECT_GT(ml::evaluate_on(tree, d).accuracy(), 0.98);
+  for (const std::size_t a : tree.used_attributes())
+    EXPECT_LT(a, 2u) << "tree split on a noise attribute";
+}
+
+TEST(C45, PureDatasetIsSingleLeaf) {
+  Dataset d = two_class_schema();
+  for (int i = 0; i < 10; ++i) d.add({1.0 * i, 2.0}, 0);
+  ml::C45Tree tree;
+  tree.train(d);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{99.0, 99.0}), 0);
+}
+
+TEST(C45, MinLeafRespected) {
+  util::Rng rng(3);
+  Dataset d = separable(50, rng);
+  // One contradictory point cannot justify a split under min_leaf = 25.
+  ml::C45Params params;
+  params.min_leaf_instances = 60;
+  ml::C45Tree tree(params);
+  tree.train(d);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(C45, PruningShrinksNoisyTree) {
+  util::Rng rng(4);
+  // Noisy labels: flip 10% of classes.
+  Dataset d = two_class_schema();
+  for (int i = 0; i < 400; ++i) {
+    const bool pos = rng.next_bool(0.5);
+    int y = pos ? 1 : 0;
+    if (rng.next_bool(0.10)) y = 1 - y;
+    d.add({(pos ? 8.0 : 2.0) + rng.next_double(), rng.next_double() * 10}, y);
+  }
+  // Disable the MDL correction and the minimum-leaf guard so the unpruned
+  // tree actually overfits the label noise; pruning must then shrink it.
+  ml::C45Params overfit;
+  overfit.prune = false;
+  overfit.mdl_correction = false;
+  overfit.min_leaf_instances = 1;
+  ml::C45Tree t_unpruned(overfit);
+  t_unpruned.train(d);
+  ml::C45Params pruned = overfit;
+  pruned.prune = true;
+  ml::C45Tree t_pruned(pruned);
+  t_pruned.train(d);
+  EXPECT_LT(t_pruned.num_nodes(), t_unpruned.num_nodes());
+  EXPECT_GE(ml::evaluate_on(t_pruned, d).accuracy(), 0.85);
+}
+
+TEST(C45, DistributionSumsToOne) {
+  util::Rng rng(5);
+  const Dataset d = three_class(40, rng);
+  ml::C45Tree tree;
+  tree.train(d);
+  const auto dist = tree.distribution(d.at(7).x);
+  ASSERT_EQ(dist.size(), 3u);
+  double sum = 0;
+  for (const double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(C45, SaveLoadRoundTripPreservesPredictions) {
+  util::Rng rng(6);
+  const Dataset d = three_class(50, rng);
+  ml::C45Tree tree;
+  tree.train(d);
+  std::stringstream ss;
+  tree.save(ss);
+  const ml::C45Tree loaded = ml::C45Tree::load(ss);
+  EXPECT_EQ(loaded.num_nodes(), tree.num_nodes());
+  for (const auto& inst : d.instances())
+    EXPECT_EQ(loaded.predict(inst.x), tree.predict(inst.x));
+}
+
+TEST(C45, LoadRejectsGarbage) {
+  std::stringstream ss("not a model");
+  EXPECT_THROW(ml::C45Tree::load(ss), std::exception);
+}
+
+TEST(C45, UntrainedPredictThrows) {
+  ml::C45Tree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), std::exception);
+}
+
+TEST(C45, DescribeMentionsLeafAndNodeCounts) {
+  util::Rng rng(7);
+  const Dataset d = separable(30, rng);
+  ml::C45Tree tree;
+  tree.train(d);
+  const std::string text = tree.describe();
+  EXPECT_NE(text.find("Number of Leaves"), std::string::npos);
+  EXPECT_NE(text.find("Size of the tree"), std::string::npos);
+}
+
+// ---- companion classifiers --------------------------------------------------
+
+template <typename C>
+void expect_learns_separable(C&& c, double min_acc = 0.97) {
+  util::Rng rng(8);
+  const Dataset d = separable(60, rng);
+  c.train(d);
+  EXPECT_GE(ml::evaluate_on(c, d).accuracy(), min_acc) << c.name();
+}
+
+TEST(NaiveBayes, LearnsSeparable) { expect_learns_separable(ml::NaiveBayes()); }
+TEST(Knn, LearnsSeparable) { expect_learns_separable(ml::KnnClassifier(3)); }
+TEST(Stump, LearnsSeparable) { expect_learns_separable(ml::DecisionStump()); }
+TEST(Forest, LearnsSeparable) { expect_learns_separable(ml::RandomForest()); }
+
+TEST(ZeroR, PredictsMajority) {
+  Dataset d = two_class_schema();
+  for (int i = 0; i < 3; ++i) d.add({1, 1}, 0);
+  for (int i = 0; i < 7; ++i) d.add({2, 2}, 1);
+  ml::ZeroR z;
+  z.train(d);
+  EXPECT_EQ(z.predict(std::vector<double>{0.0, 0.0}), 1);
+}
+
+TEST(Stump, FindsSignalAttribute) {
+  util::Rng rng(9);
+  const Dataset d = separable(40, rng);
+  ml::DecisionStump s;
+  s.train(d);
+  EXPECT_EQ(s.attribute(), 0u);
+  EXPECT_GT(s.threshold(), 3.0);
+  EXPECT_LT(s.threshold(), 8.0);
+}
+
+TEST(NaiveBayes, DistributionNormalized) {
+  util::Rng rng(10);
+  const Dataset d = three_class(30, rng);
+  ml::NaiveBayes nb;
+  nb.train(d);
+  const auto dist = nb.distribution(d.at(0).x);
+  double sum = 0;
+  for (const double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Knn, ConstantAttributeDoesNotPoisonDistance) {
+  Dataset d({"sig", "const"}, {"neg", "pos"});
+  for (int i = 0; i < 20; ++i) {
+    d.add({static_cast<double>(i % 2 ? 10 : 0), 5.0}, i % 2);
+  }
+  ml::KnnClassifier knn(1);
+  knn.train(d);
+  EXPECT_EQ(knn.predict(std::vector<double>{9.5, 5.0}), 1);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.5, 5.0}), 0);
+}
+
+// ---- dataset / folds ---------------------------------------------------------
+
+TEST(Dataset, ClassCountsAndMajority) {
+  Dataset d = two_class_schema();
+  d.add({1, 1}, 0);
+  d.add({1, 1}, 1);
+  d.add({1, 1}, 1);
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(d.majority_class(), 1);
+}
+
+TEST(Dataset, StratifiedFoldsPreserveClassBalance) {
+  util::Rng rng(11);
+  Dataset d = two_class_schema();
+  for (int i = 0; i < 40; ++i) d.add({1.0 * i, 0}, 0);
+  for (int i = 0; i < 20; ++i) d.add({1.0 * i, 1}, 1);
+  const auto folds = d.stratified_folds(10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& fold : folds) {
+    std::size_t c0 = 0, c1 = 0;
+    for (const std::size_t i : fold)
+      (d.at(i).y == 0 ? c0 : c1)++;
+    EXPECT_EQ(c0, 4u);
+    EXPECT_EQ(c1, 2u);
+    total += fold.size();
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(Dataset, FoldsPartitionWithoutDuplicates) {
+  util::Rng rng(12);
+  Dataset d = two_class_schema();
+  for (int i = 0; i < 55; ++i) d.add({1.0 * i, 0}, i % 2);
+  const auto folds = d.stratified_folds(7, rng);
+  std::vector<bool> seen(d.size(), false);
+  for (const auto& fold : folds)
+    for (const std::size_t i : fold) {
+      ASSERT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Dataset, RejectsBadInput) {
+  Dataset d = two_class_schema();
+  EXPECT_THROW(d.add({1.0}, 0), std::exception);       // wrong arity
+  EXPECT_THROW(d.add({1.0, 2.0}, 5), std::exception);  // bad label
+  EXPECT_THROW(d.stratified_folds(1, *(new util::Rng(1))), std::exception);
+}
+
+// ---- evaluation ---------------------------------------------------------------
+
+TEST(ConfusionMatrix, AccuracyAndRates) {
+  ml::ConfusionMatrix cm({"good", "bad-fs"});
+  for (int i = 0; i < 90; ++i) cm.record(0, 0);
+  for (int i = 0; i < 5; ++i) cm.record(0, 1);  // false positives
+  for (int i = 0; i < 4; ++i) cm.record(1, 1);
+  cm.record(1, 0);  // miss
+  EXPECT_EQ(cm.total(), 100u);
+  EXPECT_EQ(cm.correct(), 94u);
+  EXPECT_NEAR(cm.accuracy(), 0.94, 1e-12);
+  EXPECT_NEAR(cm.false_positive_rate(1), 5.0 / 95.0, 1e-12);
+  EXPECT_NEAR(cm.recall(1), 0.8, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 4.0 / 9.0, 1e-12);
+}
+
+TEST(CrossValidation, HighAccuracyOnSeparableData) {
+  util::Rng rng(13);
+  const Dataset d = separable(60, rng);
+  util::Rng cv_rng(14);
+  const auto result = ml::cross_validate(ml::C45Tree(), d, 10, cv_rng);
+  EXPECT_GT(result.accuracy, 0.95);
+  EXPECT_EQ(result.fold_accuracy.size(), 10u);
+  EXPECT_EQ(result.confusion.total(), d.size());
+}
+
+TEST(CrossValidation, DeterministicGivenRngSeed) {
+  util::Rng rng(15);
+  const Dataset d = three_class(40, rng);
+  util::Rng r1(77), r2(77);
+  const auto a = ml::cross_validate(ml::C45Tree(), d, 10, r1);
+  const auto b = ml::cross_validate(ml::C45Tree(), d, 10, r2);
+  EXPECT_EQ(a.confusion.correct(), b.confusion.correct());
+}
+
+// ---- io ------------------------------------------------------------------------
+
+TEST(Io, CsvRoundTrip) {
+  util::Rng rng(16);
+  const Dataset d = three_class(10, rng);
+  std::stringstream ss;
+  ml::write_csv(d, ss);
+  const Dataset back = ml::read_csv(ss, d.class_names());
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(back.at(i).y, d.at(i).y);
+    for (std::size_t a = 0; a < d.num_attributes(); ++a)
+      EXPECT_DOUBLE_EQ(back.at(i).x[a], d.at(i).x[a]);
+  }
+}
+
+TEST(Io, ArffHasWekaStructure) {
+  util::Rng rng(17);
+  const Dataset d = separable(5, rng);
+  std::stringstream ss;
+  ml::write_arff(d, "fsml_training", ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("@relation fsml_training"), std::string::npos);
+  EXPECT_NE(text.find("@attribute a numeric"), std::string::npos);
+  EXPECT_NE(text.find("@attribute class {neg,pos}"), std::string::npos);
+  EXPECT_NE(text.find("@data"), std::string::npos);
+}
+
+TEST(Io, CsvRejectsMalformedRows) {
+  std::stringstream ss("a,b,class\n1.0,2.0,neg\n1.0,oops\n");
+  EXPECT_THROW(ml::read_csv(ss, {"neg", "pos"}), std::exception);
+}
+
+TEST(Io, CsvRejectsUnknownClass) {
+  std::stringstream ss("a,b,class\n1.0,2.0,zebra\n");
+  EXPECT_THROW(ml::read_csv(ss, {"neg", "pos"}), std::exception);
+}
+
+}  // namespace

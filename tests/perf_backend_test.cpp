@@ -1,0 +1,78 @@
+// Tests for the real-hardware perf_event backend. Counter-dependent tests
+// skip cleanly where perf_event_open is unavailable (containers, CI);
+// structural tests always run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pmu/perf_backend.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+
+TEST(PerfBackend, SpecTablesWellFormed) {
+  if (!pmu::perf_available()) {
+    // The mapping tables are still meaningful (they are static data) when
+    // built on Linux; on non-Linux builds they are empty by contract.
+    SUCCEED();
+  }
+  const auto generic = pmu::generic_event_specs();
+  const auto westmere = pmu::westmere_event_specs();
+#if defined(__linux__)
+  // The generic mapping must include the normalizer.
+  bool has_instructions = false;
+  for (const auto& s : generic)
+    if (s.id == pmu::WestmereEvent::kInstructionsRetired)
+      has_instructions = true;
+  EXPECT_TRUE(has_instructions);
+  EXPECT_EQ(westmere.size(), pmu::kNumWestmereEvents);
+  for (const auto& s : generic) EXPECT_FALSE(s.label.empty());
+#else
+  EXPECT_TRUE(generic.empty());
+  EXPECT_TRUE(westmere.empty());
+#endif
+}
+
+TEST(PerfBackend, MeasureCountsInstructions) {
+  if (!pmu::perf_available())
+    GTEST_SKIP() << "perf_event_open unavailable in this environment";
+  pmu::CounterSnapshot snapshot;
+  const bool ok = pmu::PerfCounterGroup::measure(
+      pmu::generic_event_specs(),
+      [] {
+        std::atomic<std::uint64_t> sink{0};
+        for (int i = 0; i < 2000000; ++i)
+          sink.fetch_add(static_cast<std::uint64_t>(i), std::memory_order_relaxed);
+      },
+      &snapshot);
+  if (!ok) GTEST_SKIP() << "generic events could not all be opened";
+  // A 2M-iteration loop retires at least a few million instructions.
+  EXPECT_GT(snapshot.instructions(), 2000000u);
+  // And the feature normalization path works on real counts.
+  const auto fv = pmu::FeatureVector::normalize(snapshot);
+  for (std::size_t i = 0; i < pmu::kNumFeatures; ++i)
+    EXPECT_GE(fv.at(i), 0.0);
+}
+
+TEST(PerfBackend, GroupLifecycleIsChecked) {
+  if (!pmu::perf_available())
+    GTEST_SKIP() << "perf_event_open unavailable in this environment";
+  pmu::PerfCounterGroup group(pmu::generic_event_specs());
+  if (!group.ok()) GTEST_SKIP() << "events failed to open";
+  EXPECT_THROW(group.stop(), util::CheckFailure);  // not started
+  group.start();
+  EXPECT_THROW(group.start(), util::CheckFailure);  // double start
+  (void)group.stop();
+}
+
+TEST(PerfBackend, UnavailableDegradesGracefully) {
+  if (pmu::perf_available())
+    GTEST_SKIP() << "perf is available here; nothing to check";
+  pmu::CounterSnapshot snapshot;
+  EXPECT_FALSE(pmu::PerfCounterGroup::measure(
+      pmu::generic_event_specs(), [] {}, &snapshot));
+}
+
+}  // namespace

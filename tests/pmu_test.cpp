@@ -1,0 +1,125 @@
+// Tests for the PMU layer: the Table-2 event table, counter snapshots,
+// feature normalization, and candidate-list construction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmu/counters.hpp"
+#include "pmu/events.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+using pmu::WestmereEvent;
+
+TEST(Events, TableHasSixteenEntriesInPaperOrder) {
+  const auto table = pmu::westmere_event_table();
+  ASSERT_EQ(table.size(), 16u);
+  // Spot-check against the paper's Table 2.
+  EXPECT_EQ(table[0].event_code, 0x26);   // L2 Data Requests.Demand.I
+  EXPECT_EQ(table[0].umask, 0x01);
+  EXPECT_EQ(table[10].event_code, 0xB8);  // Snoop_Response.HIT_M
+  EXPECT_EQ(table[10].umask, 0x04);
+  EXPECT_EQ(table[15].event_code, 0xC0);  // Instructions_Retired
+  EXPECT_EQ(table[15].id, WestmereEvent::kInstructionsRetired);
+}
+
+TEST(Events, ByNumberMatchesPaperNumbering) {
+  EXPECT_EQ(pmu::event_by_number(11).id, WestmereEvent::kSnoopResponseHitM);
+  EXPECT_EQ(pmu::event_by_number(13).id, WestmereEvent::kDtlbMisses);
+  EXPECT_EQ(pmu::event_by_number(16).id,
+            WestmereEvent::kInstructionsRetired);
+  EXPECT_THROW(pmu::event_by_number(0), util::CheckFailure);
+  EXPECT_THROW(pmu::event_by_number(17), util::CheckFailure);
+}
+
+TEST(Events, EveryEntryMapsToDistinctRawCounter) {
+  std::set<sim::RawEvent> raws;
+  for (const auto& info : pmu::westmere_event_table())
+    raws.insert(info.raw);
+  EXPECT_EQ(raws.size(), 16u);
+}
+
+TEST(Events, CandidateListExcludesNormalizers) {
+  const auto candidates = pmu::candidate_events();
+  EXPECT_GT(candidates.size(), 40u);  // the "60-70 events" scale
+  for (const sim::RawEvent e : candidates) {
+    EXPECT_NE(e, sim::RawEvent::kInstructionsRetired);
+    EXPECT_NE(e, sim::RawEvent::kCyclesTotal);
+  }
+}
+
+TEST(Counters, SnapshotReadsFromRawBank) {
+  sim::RawCounters raw;
+  raw.add(sim::RawEvent::kInstructionsRetired, 1000);
+  raw.add(sim::RawEvent::kSnoopResponseHitM, 42);
+  raw.add(sim::RawEvent::kDtlbMiss, 7);
+  const auto snap = pmu::CounterSnapshot::from_raw(raw);
+  EXPECT_EQ(snap.instructions(), 1000u);
+  EXPECT_EQ(snap.get(WestmereEvent::kSnoopResponseHitM), 42u);
+  EXPECT_EQ(snap.get(WestmereEvent::kDtlbMisses), 7u);
+  EXPECT_EQ(snap.get(WestmereEvent::kL2TransactionsFill), 0u);
+}
+
+TEST(Counters, NormalizationDividesByInstructions) {
+  sim::RawCounters raw;
+  raw.add(sim::RawEvent::kInstructionsRetired, 2000);
+  raw.add(sim::RawEvent::kSnoopResponseHitM, 20);
+  const auto fv =
+      pmu::FeatureVector::normalize(pmu::CounterSnapshot::from_raw(raw));
+  EXPECT_DOUBLE_EQ(fv.get(WestmereEvent::kSnoopResponseHitM), 0.01);
+  EXPECT_DOUBLE_EQ(fv.get(WestmereEvent::kDtlbMisses), 0.0);
+}
+
+TEST(Counters, NormalizationRejectsZeroInstructions) {
+  const pmu::CounterSnapshot empty;
+  EXPECT_THROW(pmu::FeatureVector::normalize(empty), util::CheckFailure);
+}
+
+TEST(Counters, FeatureNamesStableAndNumbered) {
+  const auto names = pmu::FeatureVector::feature_names();
+  ASSERT_EQ(names.size(), pmu::kNumFeatures);
+  EXPECT_EQ(names[10].rfind("ev11_", 0), 0u);  // paper's event #11
+  EXPECT_NE(names[10].find("Snoop_Response.HIT_M"), std::string::npos);
+  // Names are unique.
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Counters, NormalizeRawSubset) {
+  sim::RawCounters raw;
+  raw.add(sim::RawEvent::kInstructionsRetired, 100);
+  raw.add(sim::RawEvent::kL2Hit, 25);
+  raw.add(sim::RawEvent::kL3Miss, 5);
+  const auto values = pmu::normalize_raw(
+      raw, {sim::RawEvent::kL2Hit, sim::RawEvent::kL3Miss});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 0.25);
+  EXPECT_DOUBLE_EQ(values[1], 0.05);
+}
+
+TEST(RawCounters, DeltaToComputesPerSliceCounts) {
+  sim::RawCounters a, b;
+  a.add(sim::RawEvent::kL2Hit, 10);
+  b.add(sim::RawEvent::kL2Hit, 25);
+  b.add(sim::RawEvent::kDtlbMiss, 3);
+  const auto d = a.delta_to(b);
+  EXPECT_EQ(d.get(sim::RawEvent::kL2Hit), 15u);
+  EXPECT_EQ(d.get(sim::RawEvent::kDtlbMiss), 3u);
+}
+
+TEST(RawCounters, NamesAndDescriptionsExistForAll) {
+  for (std::size_t i = 0; i < sim::kNumRawEvents; ++i) {
+    const auto e = static_cast<sim::RawEvent>(i);
+    EXPECT_FALSE(sim::raw_event_name(e).empty());
+    EXPECT_FALSE(sim::raw_event_description(e).empty());
+  }
+  // Names are unique (they become CSV headers).
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < sim::kNumRawEvents; ++i)
+    names.insert(sim::raw_event_name(static_cast<sim::RawEvent>(i)));
+  EXPECT_EQ(names.size(), sim::kNumRawEvents);
+}
+
+}  // namespace

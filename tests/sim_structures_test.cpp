@@ -1,0 +1,254 @@
+// Unit tests for the simulator's building blocks: geometry, the
+// set-associative tag store (LRU, eviction, invalidation), the DTLB, the
+// drain queue and the line-fill buffer.
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/geometry.hpp"
+#include "sim/store_buffer.hpp"
+#include "sim/tlb.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+using sim::MesiState;
+
+// ---- geometry ---------------------------------------------------------------
+
+TEST(Geometry, DerivedQuantities) {
+  sim::CacheGeometry g{32 * 1024, 8, 64};
+  g.validate();
+  EXPECT_EQ(g.num_lines(), 512u);
+  EXPECT_EQ(g.num_sets(), 64u);
+}
+
+TEST(Geometry, NonPowerOfTwoSetsSupported) {
+  // Westmere's L3: 12 MiB / 16-way = 12288 sets.
+  sim::CacheGeometry g{12 * 1024 * 1024, 16, 64};
+  g.validate();
+  EXPECT_EQ(g.num_sets(), 12288u);
+  // set_index must stay within bounds for arbitrary addresses.
+  for (sim::Addr a = 0; a < 1 << 22; a += 4093)
+    EXPECT_LT(g.set_index(a), g.num_sets());
+}
+
+TEST(Geometry, LineAddrMasksOffset) {
+  sim::CacheGeometry g{1024, 2, 64};
+  EXPECT_EQ(g.line_addr(0x1234), 0x1200u);
+  EXPECT_EQ(g.line_addr(0x1240), 0x1240u);
+}
+
+TEST(Geometry, SameSetSameTagMeansSameLine) {
+  sim::CacheGeometry g{4096, 4, 64};
+  const sim::Addr a = 0x10040, b = 0x10050;  // same line
+  EXPECT_EQ(g.set_index(a), g.set_index(b));
+  EXPECT_EQ(g.tag(a), g.tag(b));
+}
+
+TEST(Geometry, InvalidConfigsRejected) {
+  sim::CacheGeometry zero{0, 8, 64};
+  EXPECT_THROW(zero.validate(), util::CheckFailure);
+  sim::CacheGeometry odd_line{1024, 2, 48};
+  EXPECT_THROW(odd_line.validate(), util::CheckFailure);
+  sim::CacheGeometry indivisible{1000, 3, 64};
+  EXPECT_THROW(indivisible.validate(), util::CheckFailure);
+}
+
+// ---- cache tag store ---------------------------------------------------------
+
+sim::Cache tiny_cache() { return sim::Cache({256, 2, 64}); }  // 2 sets, 2 ways
+
+TEST(Cache, FillAndLookup) {
+  sim::Cache c = tiny_cache();
+  EXPECT_EQ(c.state_of(0x1000), MesiState::kInvalid);
+  EXPECT_FALSE(c.fill(0x1000, MesiState::kExclusive).has_value());
+  EXPECT_EQ(c.state_of(0x1000), MesiState::kExclusive);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsets) {
+  sim::Cache c = tiny_cache();
+  c.fill(0x1000, MesiState::kShared);
+  EXPECT_EQ(c.state_of(0x103F), MesiState::kShared);
+  EXPECT_EQ(c.state_of(0x1040), MesiState::kInvalid);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  sim::Cache c = tiny_cache();  // set stride = 128 bytes
+  // Three lines mapping to set 0 (addresses 0x0, 0x80 apart... use 128B).
+  c.fill(0x0000, MesiState::kExclusive);
+  c.fill(0x0080, MesiState::kExclusive);
+  c.touch(0x0000);  // 0x0000 is now MRU; 0x0080 is LRU
+  const auto ev = c.fill(0x0100, MesiState::kExclusive);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0x0080u);
+  EXPECT_EQ(c.state_of(0x0000), MesiState::kExclusive);
+  EXPECT_EQ(c.state_of(0x0080), MesiState::kInvalid);
+}
+
+TEST(Cache, EvictionReportsState) {
+  sim::Cache c = tiny_cache();
+  c.fill(0x0000, MesiState::kModified);
+  c.fill(0x0080, MesiState::kExclusive);
+  const auto ev = c.fill(0x0100, MesiState::kShared);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->state, MesiState::kModified);
+}
+
+TEST(Cache, RefillingResidentLineUpdatesStateWithoutEviction) {
+  sim::Cache c = tiny_cache();
+  c.fill(0x0000, MesiState::kShared);
+  const auto ev = c.fill(0x0000, MesiState::kModified);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_EQ(c.state_of(0x0000), MesiState::kModified);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(Cache, InvalidateReturnsPriorState) {
+  sim::Cache c = tiny_cache();
+  c.fill(0x0000, MesiState::kModified);
+  EXPECT_EQ(c.invalidate(0x0000), MesiState::kModified);
+  EXPECT_EQ(c.invalidate(0x0000), MesiState::kInvalid);
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(Cache, SetStateRequiresResidency) {
+  sim::Cache c = tiny_cache();
+  EXPECT_THROW(c.set_state(0x0000, MesiState::kShared), util::CheckFailure);
+}
+
+TEST(Cache, ForEachLineVisitsAllValid) {
+  sim::Cache c = tiny_cache();
+  c.fill(0x0000, MesiState::kExclusive);
+  c.fill(0x0040, MesiState::kShared);  // set 1
+  std::size_t visited = 0;
+  c.for_each_line([&](sim::Addr addr, MesiState s) {
+    ++visited;
+    EXPECT_EQ(c.state_of(addr), s);
+  });
+  EXPECT_EQ(visited, 2u);
+}
+
+TEST(Cache, FillPrefersInvalidWays) {
+  sim::Cache c = tiny_cache();
+  c.fill(0x0000, MesiState::kExclusive);
+  c.invalidate(0x0000);
+  c.fill(0x0080, MesiState::kExclusive);
+  // Set 0 has one invalid way; filling must not evict 0x0080.
+  const auto ev = c.fill(0x0100, MesiState::kExclusive);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_EQ(c.state_of(0x0080), MesiState::kExclusive);
+}
+
+// ---- dtlb --------------------------------------------------------------------
+
+TEST(Dtlb, HitAfterInstall) {
+  sim::Dtlb tlb(8, 2, 4096);
+  EXPECT_FALSE(tlb.access(0x1000));  // cold miss installs
+  EXPECT_TRUE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1FFF));  // same page
+  EXPECT_FALSE(tlb.access(0x2000));  // next page
+}
+
+TEST(Dtlb, CapacityEviction) {
+  sim::Dtlb tlb(4, 4, 4096);  // 1 set, 4 ways
+  for (sim::Addr p = 0; p < 5; ++p) tlb.access(p * 4096);
+  EXPECT_FALSE(tlb.access(0));  // page 0 was LRU-evicted by page 4
+}
+
+TEST(Dtlb, LruKeepsHotPages) {
+  sim::Dtlb tlb(4, 4, 4096);
+  for (sim::Addr p = 0; p < 4; ++p) tlb.access(p * 4096);
+  tlb.access(0);                  // refresh page 0
+  tlb.access(5 * 4096);           // evicts page 1 (LRU), not page 0
+  EXPECT_TRUE(tlb.access(0));
+  EXPECT_FALSE(tlb.access(1 * 4096));
+}
+
+TEST(Dtlb, ResetForgetsEverything) {
+  sim::Dtlb tlb(8, 2, 4096);
+  tlb.access(0x1000);
+  tlb.reset();
+  EXPECT_FALSE(tlb.access(0x1000));
+}
+
+// ---- drain queue --------------------------------------------------------------
+
+TEST(DrainQueue, NoStallBelowCapacity) {
+  sim::DrainQueue q(4, 1);
+  for (int i = 0; i < 3; ++i) q.push(0, 100);
+  q.retire_completed(0);
+  EXPECT_EQ(q.stall_until_slot(0), 0u);
+}
+
+TEST(DrainQueue, StallsWhenFullUntilEarliestCompletion) {
+  sim::DrainQueue q(2, 1);
+  q.push(0, 10);   // completes at 10
+  q.push(0, 10);   // serialized on one port: completes at 20
+  q.retire_completed(5);
+  EXPECT_EQ(q.stall_until_slot(5), 5u);  // wait until t=10
+  q.retire_completed(10);
+  EXPECT_EQ(q.stall_until_slot(10), 0u);
+}
+
+TEST(DrainQueue, PortsDrainInParallel) {
+  sim::DrainQueue q(8, 4);
+  // Four drains issued together with 4 ports: all complete at t=100.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.push(0, 100), 100u);
+  // The fifth must wait for a port: completes at 200.
+  EXPECT_EQ(q.push(0, 100), 200u);
+}
+
+TEST(DrainQueue, SlowDrainDoesNotBlockFastOnesOnOtherPorts) {
+  sim::DrainQueue q(8, 2);
+  EXPECT_EQ(q.push(0, 1000), 1000u);  // port A busy until 1000
+  EXPECT_EQ(q.push(0, 5), 5u);        // port B: immediate
+  EXPECT_EQ(q.push(10, 5), 15u);      // port B again at t=10
+}
+
+TEST(DrainQueue, RetireDropsCompleted) {
+  sim::DrainQueue q(2, 2);
+  q.push(0, 5);
+  q.push(0, 7);
+  q.retire_completed(6);
+  EXPECT_EQ(q.size(), 1u);
+  q.retire_completed(7);
+  EXPECT_TRUE(q.empty());
+}
+
+// ---- line fill buffer ----------------------------------------------------------
+
+TEST(LineFillBuffer, TracksPendingFills) {
+  sim::LineFillBuffer lfb(4);
+  lfb.insert(0x1000, 50, 0);
+  EXPECT_TRUE(lfb.pending_fill(0x1000, 10).has_value());
+  EXPECT_EQ(*lfb.pending_fill(0x1000, 10), 50u);
+  EXPECT_FALSE(lfb.pending_fill(0x2000, 10).has_value());
+}
+
+TEST(LineFillBuffer, ExpiresCompletedFills) {
+  sim::LineFillBuffer lfb(4);
+  lfb.insert(0x1000, 50, 0);
+  EXPECT_FALSE(lfb.pending_fill(0x1000, 50).has_value());
+}
+
+TEST(LineFillBuffer, MergingKeepsLatestCompletion) {
+  sim::LineFillBuffer lfb(4);
+  lfb.insert(0x1000, 50, 0);
+  lfb.insert(0x1000, 80, 0);
+  EXPECT_EQ(*lfb.pending_fill(0x1000, 10), 80u);
+  EXPECT_EQ(lfb.size(), 1u);
+}
+
+TEST(LineFillBuffer, RecyclesOldestWhenFull) {
+  sim::LineFillBuffer lfb(2);
+  lfb.insert(0x1000, 100, 0);
+  lfb.insert(0x2000, 200, 0);
+  lfb.insert(0x3000, 300, 0);  // recycles the 0x1000 entry
+  EXPECT_FALSE(lfb.pending_fill(0x1000, 0).has_value());
+  EXPECT_TRUE(lfb.pending_fill(0x2000, 0).has_value());
+  EXPECT_TRUE(lfb.pending_fill(0x3000, 0).has_value());
+}
+
+}  // namespace

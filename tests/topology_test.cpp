@@ -1,0 +1,188 @@
+// Multi-socket topology tests: per-socket L3s, QPI latencies for
+// cross-socket coherence, inclusion per socket, invariants under stress,
+// and the classifier's robustness to the 2x6 layout of the paper's actual
+// X5690 machine.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/training.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/memory_system.hpp"
+#include "trainers/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fsml;
+using sim::AccessType;
+using sim::MesiState;
+using sim::RawEvent;
+
+constexpr sim::Addr kLine = 0x20000;
+
+sim::MachineConfig two_socket(std::uint32_t cores = 4,
+                              std::uint32_t per_socket = 2) {
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(cores);
+  cfg.cores_per_socket = per_socket;
+  cfg.validate();
+  return cfg;
+}
+
+TEST(Topology, SocketMapping) {
+  sim::MemorySystem mem(two_socket(4, 2));
+  EXPECT_EQ(mem.num_sockets(), 2u);
+  EXPECT_EQ(mem.socket_of(0), 0u);
+  EXPECT_EQ(mem.socket_of(1), 0u);
+  EXPECT_EQ(mem.socket_of(2), 1u);
+  EXPECT_EQ(mem.socket_of(3), 1u);
+}
+
+TEST(Topology, SingleSocketByDefault) {
+  sim::MemorySystem mem(sim::MachineConfig::westmere_dp(12));
+  EXPECT_EQ(mem.num_sockets(), 1u);
+  EXPECT_EQ(mem.socket_of(11), 0u);
+}
+
+TEST(Topology, PaperMachineIsTwoBySix) {
+  const auto cfg = sim::MachineConfig::westmere_dp_2s();
+  sim::MemorySystem mem(cfg);
+  EXPECT_EQ(mem.num_sockets(), 2u);
+  EXPECT_EQ(mem.socket_of(5), 0u);
+  EXPECT_EQ(mem.socket_of(6), 1u);
+}
+
+TEST(Topology, CrossSocketHitmCostsQpiHop) {
+  const auto cfg = two_socket(4, 2);
+  sim::MemorySystem mem(cfg);
+  mem.access(0, kLine, 8, AccessType::kStore, 0);  // M on socket 0
+
+  // Same-socket transfer.
+  const auto local = mem.access(1, kLine, 8, AccessType::kLoad, 1000);
+  // Reset: core 2 (socket 1) writes, then core 3 (socket 1)... instead use a
+  // second line for the remote case.
+  mem.access(0, kLine + 0x1000, 8, AccessType::kStore, 2000);
+  const auto remote =
+      mem.access(2, kLine + 0x1000, 8, AccessType::kLoad, 3000);
+
+  EXPECT_EQ(local.level, sim::ServiceLevel::kPeerHitM);
+  EXPECT_EQ(remote.level, sim::ServiceLevel::kPeerHitM);
+  EXPECT_GE(remote.latency, local.latency + cfg.cycles.qpi_hop);
+  EXPECT_EQ(mem.counters(2).get(RawEvent::kCrossSocketTransfers), 1u);
+  EXPECT_EQ(mem.counters(1).get(RawEvent::kCrossSocketTransfers), 0u);
+}
+
+TEST(Topology, ReadAcrossSocketsPopulatesBothL3s) {
+  sim::MemorySystem mem(two_socket(4, 2));
+  mem.access(0, kLine, 8, AccessType::kLoad, 0);
+  EXPECT_TRUE(mem.l3(0).contains(kLine));
+  EXPECT_FALSE(mem.l3(1).contains(kLine));
+  mem.access(2, kLine, 8, AccessType::kLoad, 1000);
+  EXPECT_TRUE(mem.l3(0).contains(kLine));
+  EXPECT_TRUE(mem.l3(1).contains(kLine));
+  EXPECT_GE(mem.counters(2).get(RawEvent::kRemoteL3Hits) +
+                mem.counters(2).get(RawEvent::kCleanTransfersIn),
+            1u);
+}
+
+TEST(Topology, RfoInvalidatesRemoteL3Copy) {
+  sim::MemorySystem mem(two_socket(4, 2));
+  mem.access(0, kLine, 8, AccessType::kLoad, 0);
+  mem.access(2, kLine, 8, AccessType::kLoad, 1000);  // both L3s hold it
+  mem.access(2, kLine, 8, AccessType::kStore, 2000); // socket-1 core owns
+  EXPECT_FALSE(mem.l3(0).contains(kLine))
+      << "stale remote L3 copy after exclusive ownership";
+  EXPECT_TRUE(mem.l3(1).contains(kLine));
+  EXPECT_TRUE(mem.check_coherence_invariant());
+  EXPECT_TRUE(mem.check_inclusion());
+}
+
+TEST(Topology, InclusionPerSocket) {
+  sim::MemorySystem mem(two_socket(4, 2));
+  util::Rng rng(3);
+  for (int op = 0; op < 2000; ++op) {
+    const auto core = static_cast<sim::CoreId>(rng.next_below(4));
+    const sim::Addr addr = 0x8000 + rng.next_below(512) * 32;
+    const auto type = static_cast<AccessType>(rng.next_below(3));
+    mem.access(core, addr, 8, type, static_cast<sim::Cycles>(op) * 3);
+  }
+  EXPECT_TRUE(mem.check_inclusion());
+  EXPECT_TRUE(mem.check_coherence_invariant());
+}
+
+class TopologyStress
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TopologyStress, InvariantsUnderRandomTraffic) {
+  const auto [cores, per_socket, seed] = GetParam();
+  sim::MemorySystem mem(two_socket(static_cast<std::uint32_t>(cores),
+                                   static_cast<std::uint32_t>(per_socket)));
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  for (int op = 0; op < 3000; ++op) {
+    const auto core = static_cast<sim::CoreId>(
+        rng.next_below(static_cast<std::uint64_t>(cores)));
+    const sim::Addr addr = 0x8000 + rng.next_below(192) * 32;
+    const auto type = static_cast<AccessType>(rng.next_below(3));
+    mem.access(core, addr, 8, type, static_cast<sim::Cycles>(op) * 3);
+    if (op % 300 == 0) {
+      ASSERT_TRUE(mem.check_coherence_invariant()) << "op " << op;
+      ASSERT_TRUE(mem.check_inclusion()) << "op " << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopologyStress,
+    ::testing::Combine(::testing::Values(4, 6), ::testing::Values(2, 3),
+                       ::testing::Values(5, 9)));
+
+TEST(Topology, FalseSharingCostlierAcrossSockets) {
+  // Two threads false-sharing a line: same socket vs different sockets.
+  const auto run_pair = [](bool cross_socket) {
+    sim::MachineConfig cfg = sim::MachineConfig::westmere_dp(12);
+    cfg.cores_per_socket = 6;
+    cfg.validate();
+    sim::MemorySystem mem(cfg);
+    const sim::CoreId a = 0;
+    const sim::CoreId b = cross_socket ? 6 : 1;
+    sim::Cycles clock_a = 0, clock_b = 0;
+    for (int i = 0; i < 500; ++i) {
+      clock_a += mem.access(a, kLine, 8, AccessType::kRmw, clock_a).latency;
+      clock_b +=
+          mem.access(b, kLine + 8, 8, AccessType::kRmw, clock_b).latency;
+    }
+    return std::max(clock_a, clock_b);
+  };
+  EXPECT_GT(run_pair(true), run_pair(false) * 5 / 4);
+}
+
+TEST(Topology, DetectorTrainedOnOneSocketWorksOnTwo) {
+  // The paper claims the methodology ports across platforms; the harder
+  // version: the *trained model* itself carries over to the same machine's
+  // true 2x6 topology, because normalized HITM signatures survive the
+  // topology change (cross-socket HITMs are slower but just as countable).
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  // The test classifies 12-thread runs, so the (reduced) training grid must
+  // include 12-thread instances — the learned thresholds shift with the
+  // thread count's prefetch-coverage profile.
+  config.thread_counts = {3, 12};
+  core::FalseSharingDetector detector;
+  detector.train(core::collect_training_data(config));
+
+  trainers::TrainerParams params;
+  params.threads = 12;
+  params.size = 32768;
+  const auto cfg2s = sim::MachineConfig::westmere_dp_2s();
+
+  params.mode = trainers::Mode::kBadFs;
+  const auto bad =
+      trainers::run_trainer(trainers::find_program("pdot"), params, cfg2s);
+  EXPECT_EQ(detector.classify(bad.features), trainers::Mode::kBadFs);
+  EXPECT_GT(bad.raw.get(RawEvent::kCrossSocketTransfers), 100u);
+
+  params.mode = trainers::Mode::kGood;
+  const auto good =
+      trainers::run_trainer(trainers::find_program("pdot"), params, cfg2s);
+  EXPECT_EQ(detector.classify(good.features), trainers::Mode::kGood);
+}
+
+}  // namespace

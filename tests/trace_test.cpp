@@ -1,0 +1,115 @@
+// Trace record/replay tests: fidelity of the replayed event stream, save/
+// load round trips, and the headline property — a detector fed a replayed
+// trace reaches exactly the same conclusions as one attached live.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/epoch_detector.hpp"
+#include "baseline/shadow_detector.hpp"
+#include "exec/machine.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace fsml;
+
+/// Small false-sharing kernel with both detectors' food groups: contended
+/// writes, private streams, and compute.
+void build_kernel(exec::Machine& m) {
+  const sim::Addr packed = m.arena().alloc_line_aligned(8 * 4);
+  const sim::Addr data = m.arena().alloc_page_aligned(4096 * 8);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    const sim::Addr slot = packed + 8 * t;
+    const sim::Addr mine = data + 1024 * 8 * t;
+    m.spawn([=](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (int i = 0; i < 512; ++i) {
+        co_await ctx.load(mine + (i % 1024) * 8);
+        ctx.compute(3);
+        if (i % 4 == 0) co_await ctx.rmw(slot);
+      }
+    });
+  }
+}
+
+sim::Trace record_run() {
+  exec::Machine m(sim::MachineConfig::westmere_dp(4), 21);
+  sim::TraceRecorder recorder;
+  m.memory().add_observer(&recorder);
+  build_kernel(m);
+  m.run();
+  return recorder.take();
+}
+
+TEST(Trace, CapturesAllEvents) {
+  const sim::Trace trace = record_run();
+  EXPECT_GT(trace.total_accesses(), 2000u);
+  EXPECT_GT(trace.total_instructions(), 0u);
+  EXPECT_EQ(trace.max_core(), 3u);
+}
+
+TEST(Trace, ReplayedShadowReportEqualsLive) {
+  // Live detector attached during simulation.
+  exec::Machine m(sim::MachineConfig::westmere_dp(4), 21);
+  baseline::ShadowDetector live(4);
+  sim::TraceRecorder recorder;
+  m.memory().add_observer(&live);
+  m.memory().add_observer(&recorder);
+  build_kernel(m);
+  m.run();
+
+  baseline::ShadowDetector replayed(4);
+  sim::replay(recorder.trace(), replayed);
+
+  const auto a = live.report();
+  const auto b = replayed.report();
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.false_sharing_misses, b.false_sharing_misses);
+  EXPECT_EQ(a.true_sharing_misses, b.true_sharing_misses);
+  EXPECT_EQ(a.cold_misses, b.cold_misses);
+}
+
+TEST(Trace, ReplayIntoMultipleToolsFromOneRecording) {
+  const sim::Trace trace = record_run();
+  baseline::ShadowDetector shadow(4);
+  baseline::EpochDetector epochs(4);
+  sim::replay(trace, shadow);
+  sim::replay(trace, epochs);
+  EXPECT_TRUE(shadow.report().has_false_sharing());
+  EXPECT_GT(epochs.report().false_sharing_misses, 0u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const sim::Trace trace = record_run();
+  std::stringstream ss;
+  trace.save(ss);
+  const sim::Trace loaded = sim::Trace::load(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  EXPECT_EQ(loaded.total_accesses(), trace.total_accesses());
+  EXPECT_EQ(loaded.total_instructions(), trace.total_instructions());
+
+  // Replaying the loaded trace gives the same analysis.
+  baseline::ShadowDetector a(4), b(4);
+  sim::replay(trace, a);
+  sim::replay(loaded, b);
+  EXPECT_EQ(a.report().false_sharing_misses, b.report().false_sharing_misses);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream ss("definitely not a trace");
+  EXPECT_THROW(sim::Trace::load(ss), std::exception);
+}
+
+TEST(Trace, LoadRejectsTruncated) {
+  const sim::Trace trace = record_run();
+  std::stringstream ss;
+  trace.save(ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW(sim::Trace::load(half), std::exception);
+}
+
+}  // namespace

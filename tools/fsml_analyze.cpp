@@ -1,0 +1,233 @@
+// fsml_analyze — the command-line front end to the detection pipeline.
+//
+//   fsml_analyze train    [--cache=training.csv] [--out=fsml.tree]
+//   fsml_analyze classify --workload=NAME [--model=fsml.tree]
+//                         [--input=SET] [--opt=-O2] [--threads=8]
+//                         [--slices=25000] [--ground-truth] [--advise]
+//   fsml_analyze sweep    --workload=NAME [--model=fsml.tree]
+//   fsml_analyze list
+//   fsml_analyze events
+//
+// `classify` runs one case of a workload proxy on the simulated machine and
+// prints the verdict; with --slices it adds the phase timeline, with
+// --ground-truth the shadow-memory rate, with --advise the per-line
+// mitigation recommendations. `sweep` classifies every (input, opt,
+// threads) case and prints the Table-5-style summary for one program.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "baseline/shadow_detector.hpp"
+#include "core/advisor.hpp"
+#include "core/detector.hpp"
+#include "core/slices.hpp"
+#include "core/training.hpp"
+#include "pmu/events.hpp"
+#include "trainers/trainer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/time_format.hpp"
+#include "workloads/workload.hpp"
+
+using namespace fsml;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "usage: fsml_analyze <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  train     collect mini-program training data and fit the J48 model\n"
+      "            --cache=FILE (training data cache, default "
+      "fsml_training_cache.csv)\n"
+      "            --out=FILE   (model file, default fsml.tree)\n"
+      "            --reduced    (small grid, ~3 s instead of ~20 s)\n"
+      "  classify  classify one case of a benchmark proxy\n"
+      "            --workload=NAME --input=SET --opt=-O2 --threads=8\n"
+      "            --model=FILE --seed=N\n"
+      "            --slices=CYCLES   add a phase timeline\n"
+      "            --ground-truth    run the shadow detector too (<=8 "
+      "threads)\n"
+      "            --advise          print mitigation recommendations\n"
+      "  sweep     classify every case of one program (Table-5 style)\n"
+      "            --workload=NAME --model=FILE\n"
+      "  list      available workloads and mini-programs\n"
+      "  events    the modelled Westmere event table (paper Table 2)\n");
+  return 2;
+}
+
+core::FalseSharingDetector load_or_train(const util::Cli& cli) {
+  const std::string model_path = cli.get("model", "fsml.tree");
+  {
+    std::ifstream in(model_path);
+    if (in) {
+      std::fprintf(stderr, "loading model %s\n", model_path.c_str());
+      return core::FalseSharingDetector::load(in);
+    }
+  }
+  std::fprintf(stderr, "no model at %s — training (use `fsml_analyze train` "
+                       "to persist one)\n",
+               model_path.c_str());
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  core::FalseSharingDetector detector;
+  detector.train(core::collect_training_data(config));
+  return detector;
+}
+
+int cmd_train(const util::Cli& cli) {
+  core::TrainingConfig config;
+  if (cli.get_bool("reduced", false)) config = core::TrainingConfig::reduced();
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const core::TrainingData data = core::collect_or_load(
+      config, cli.get("cache", "fsml_training_cache.csv"), &std::cerr);
+  core::FalseSharingDetector detector;
+  detector.train(data);
+  const std::string out = cli.get("out", "fsml.tree");
+  detector.save_file(out);
+  std::printf("trained on %zu instances; model -> %s\n\n%s",
+              data.instances.size(), out.c_str(),
+              detector.model().describe().c_str());
+  return 0;
+}
+
+int cmd_classify(const util::Cli& cli) {
+  const std::string name = cli.get("workload", "");
+  if (name.empty()) return usage();
+  const auto& w = workloads::find_workload(name);
+
+  workloads::WorkloadCase wcase;
+  wcase.input = cli.get("input", w.input_sets()[0]);
+  wcase.opt = workloads::opt_from_string(cli.get("opt", "-O2"));
+  wcase.threads = static_cast<std::uint32_t>(cli.get_int("threads", 8));
+  wcase.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto slice = static_cast<sim::Cycles>(cli.get_int("slices", 0));
+  const bool ground_truth = cli.get_bool("ground-truth", false);
+  const bool advise = cli.get_bool("advise", false);
+
+  const core::FalseSharingDetector detector = load_or_train(cli);
+
+  sim::MachineConfig config = sim::MachineConfig::westmere_dp(12);
+  config.num_cores = wcase.threads;
+  exec::Machine machine(config, wcase.seed);
+  if (slice > 0) machine.enable_slicing(slice);
+  baseline::ShadowDetector shadow(
+      ground_truth || advise ? wcase.threads : 1);
+  if (ground_truth || advise) machine.memory().add_observer(&shadow);
+  w.build(machine, wcase);
+  const exec::RunResult result = machine.run();
+  const auto features = pmu::FeatureVector::normalize(
+      pmu::CounterSnapshot::from_raw(result.aggregate));
+  const trainers::Mode verdict = detector.classify(features);
+
+  std::printf("%s %s %s T=%u seed=%llu\n", name.c_str(), wcase.input.c_str(),
+              std::string(to_string(wcase.opt)).c_str(), wcase.threads,
+              static_cast<unsigned long long>(wcase.seed));
+  std::printf("  verdict      : %s\n",
+              std::string(trainers::to_string(verdict)).c_str());
+  std::printf("  time         : %s   instructions: %llu\n",
+              util::auto_time(result.seconds).c_str(),
+              static_cast<unsigned long long>(result.instructions));
+  std::printf("  HITM/instr   : %.3e\n",
+              features.get(pmu::WestmereEvent::kSnoopResponseHitM));
+  if (slice > 0) {
+    const auto report = core::analyze_slices(detector, result);
+    std::printf("  timeline     : %s\n", report.timeline().c_str());
+    const auto ranges = report.bad_fs_ranges();
+    if (!ranges.empty())
+      std::printf("  worst FS span: slices %zu..%zu\n", ranges.front().first,
+                  ranges.front().last);
+  }
+  if (ground_truth || advise) {
+    const auto sharing = shadow.report();
+    std::printf("  ground truth : rate %.3e -> %s\n",
+                sharing.false_sharing_rate(),
+                sharing.has_false_sharing() ? "false sharing" : "clean");
+    if (advise)
+      std::printf("%s",
+                  core::advise(sharing, machine.arena()).to_string().c_str());
+  }
+  return verdict == trainers::Mode::kGood ? 0 : 1;
+}
+
+int cmd_sweep(const util::Cli& cli) {
+  const std::string name = cli.get("workload", "");
+  if (name.empty()) return usage();
+  const auto& w = workloads::find_workload(name);
+  const core::FalseSharingDetector detector = load_or_train(cli);
+  const auto machine = sim::MachineConfig::westmere_dp(12);
+
+  util::Table table({"input", "opt", "T", "time", "verdict"});
+  std::vector<trainers::Mode> verdicts;
+  for (const std::string& input : w.input_sets()) {
+    for (const workloads::OptLevel opt : w.opt_levels()) {
+      for (const std::uint32_t t : {4u, 8u, 12u}) {
+        const workloads::WorkloadCase wcase{
+            input, opt, t,
+            static_cast<std::uint64_t>(cli.get_int("seed", 7))};
+        const auto run = run_workload(w, wcase, machine);
+        const auto verdict = detector.classify(run.features);
+        verdicts.push_back(verdict);
+        table.add_row({input, std::string(to_string(opt)), std::to_string(t),
+                       util::auto_time(run.seconds),
+                       std::string(trainers::to_string(verdict))});
+      }
+    }
+  }
+  table.render(std::cout);
+  std::printf("overall (majority): %s\n",
+              std::string(trainers::to_string(
+                  core::FalseSharingDetector::majority(verdicts)))
+                  .c_str());
+  return 0;
+}
+
+int cmd_list() {
+  std::printf("benchmark workload proxies:\n");
+  for (const auto* w : workloads::all_workloads()) {
+    std::printf("  %-18s (%s; inputs:", std::string(w->name()).c_str(),
+                std::string(to_string(w->suite())).c_str());
+    for (const auto& input : w->input_sets())
+      std::printf(" %s", input.c_str());
+    std::printf(")\n");
+  }
+  std::printf("\ntraining mini-programs:\n");
+  for (const auto* p : trainers::all_programs())
+    std::printf("  %-14s %s — %s\n", std::string(p->name()).c_str(),
+                p->multithreaded() ? "(mt) " : "(seq)",
+                std::string(p->description()).c_str());
+  return 0;
+}
+
+int cmd_events() {
+  util::Table table({"#", "event", "code", "umask", "simulator source"});
+  int n = 1;
+  for (const pmu::EventInfo& info : pmu::westmere_event_table()) {
+    char code[8], umask[8];
+    std::snprintf(code, sizeof code, "%02X", info.event_code);
+    std::snprintf(umask, sizeof umask, "%02X", info.umask);
+    table.add_row({std::to_string(n++), std::string(info.name), code, umask,
+                   std::string(sim::raw_event_name(info.raw))});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().empty()) return usage();
+  const std::string command = cli.positional()[0];
+  try {
+    if (command == "train") return cmd_train(cli);
+    if (command == "classify") return cmd_classify(cli);
+    if (command == "sweep") return cmd_sweep(cli);
+    if (command == "list") return cmd_list();
+    if (command == "events") return cmd_events();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
