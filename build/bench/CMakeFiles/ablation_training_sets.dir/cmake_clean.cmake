@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_training_sets.dir/ablation_training_sets.cpp.o"
+  "CMakeFiles/ablation_training_sets.dir/ablation_training_sets.cpp.o.d"
+  "ablation_training_sets"
+  "ablation_training_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_tree.dir/figure2_tree.cpp.o"
+  "CMakeFiles/figure2_tree.dir/figure2_tree.cpp.o.d"
+  "figure2_tree"
+  "figure2_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

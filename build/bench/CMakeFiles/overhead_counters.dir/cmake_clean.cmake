@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_counters.dir/overhead_counters.cpp.o"
+  "CMakeFiles/overhead_counters.dir/overhead_counters.cpp.o.d"
+  "overhead_counters"
+  "overhead_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamcluster_fix.dir/streamcluster_fix.cpp.o"
+  "CMakeFiles/streamcluster_fix.dir/streamcluster_fix.cpp.o.d"
+  "streamcluster_fix"
+  "streamcluster_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamcluster_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for streamcluster_fix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_verification.dir/table10_verification.cpp.o"
+  "CMakeFiles/table10_verification.dir/table10_verification.cpp.o.d"
+  "table10_verification"
+  "table10_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

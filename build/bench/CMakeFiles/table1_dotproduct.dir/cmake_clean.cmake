@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dotproduct.dir/table1_dotproduct.cpp.o"
+  "CMakeFiles/table1_dotproduct.dir/table1_dotproduct.cpp.o.d"
+  "table1_dotproduct"
+  "table1_dotproduct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dotproduct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

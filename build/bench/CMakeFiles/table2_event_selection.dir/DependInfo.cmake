@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_event_selection.cpp" "bench/CMakeFiles/table2_event_selection.dir/table2_event_selection.cpp.o" "gcc" "bench/CMakeFiles/table2_event_selection.dir/table2_event_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fsml_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fsml_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fsml_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trainers/CMakeFiles/fsml_trainers.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fsml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/fsml_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

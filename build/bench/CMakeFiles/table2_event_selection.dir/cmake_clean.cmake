@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_event_selection.dir/table2_event_selection.cpp.o"
+  "CMakeFiles/table2_event_selection.dir/table2_event_selection.cpp.o.d"
+  "table2_event_selection"
+  "table2_event_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_event_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

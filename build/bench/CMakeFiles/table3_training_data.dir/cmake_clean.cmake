@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_training_data.dir/table3_training_data.cpp.o"
+  "CMakeFiles/table3_training_data.dir/table3_training_data.cpp.o.d"
+  "table3_training_data"
+  "table3_training_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_training_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

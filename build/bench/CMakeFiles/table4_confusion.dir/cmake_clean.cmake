@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_confusion.dir/table4_confusion.cpp.o"
+  "CMakeFiles/table4_confusion.dir/table4_confusion.cpp.o.d"
+  "table4_confusion"
+  "table4_confusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_linear_regression.dir/table6_linear_regression.cpp.o"
+  "CMakeFiles/table6_linear_regression.dir/table6_linear_regression.cpp.o.d"
+  "table6_linear_regression"
+  "table6_linear_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_linear_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_lr_fsrates.dir/table7_lr_fsrates.cpp.o"
+  "CMakeFiles/table7_lr_fsrates.dir/table7_lr_fsrates.cpp.o.d"
+  "table7_lr_fsrates"
+  "table7_lr_fsrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_lr_fsrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

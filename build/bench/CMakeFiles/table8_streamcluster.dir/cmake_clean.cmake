@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_streamcluster.dir/table8_streamcluster.cpp.o"
+  "CMakeFiles/table8_streamcluster.dir/table8_streamcluster.cpp.o.d"
+  "table8_streamcluster"
+  "table8_streamcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_streamcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

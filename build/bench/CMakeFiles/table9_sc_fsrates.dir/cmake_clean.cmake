@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_sc_fsrates.dir/table9_sc_fsrates.cpp.o"
+  "CMakeFiles/table9_sc_fsrates.dir/table9_sc_fsrates.cpp.o.d"
+  "table9_sc_fsrates"
+  "table9_sc_fsrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_sc_fsrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_work_queue.dir/detect_work_queue.cpp.o"
+  "CMakeFiles/detect_work_queue.dir/detect_work_queue.cpp.o.d"
+  "detect_work_queue"
+  "detect_work_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_selection_demo.dir/event_selection_demo.cpp.o"
+  "CMakeFiles/event_selection_demo.dir/event_selection_demo.cpp.o.d"
+  "event_selection_demo"
+  "event_selection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_selection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locate_phases.dir/locate_phases.cpp.o"
+  "CMakeFiles/locate_phases.dir/locate_phases.cpp.o.d"
+  "locate_phases"
+  "locate_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locate_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

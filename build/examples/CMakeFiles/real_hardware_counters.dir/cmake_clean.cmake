@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_hardware_counters.dir/real_hardware_counters.cpp.o"
+  "CMakeFiles/real_hardware_counters.dir/real_hardware_counters.cpp.o.d"
+  "real_hardware_counters"
+  "real_hardware_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_hardware_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

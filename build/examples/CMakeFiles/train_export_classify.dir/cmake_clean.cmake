@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_export_classify.dir/train_export_classify.cpp.o"
+  "CMakeFiles/train_export_classify.dir/train_export_classify.cpp.o.d"
+  "train_export_classify"
+  "train_export_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_export_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/epoch_detector.cpp" "src/baseline/CMakeFiles/fsml_baseline.dir/epoch_detector.cpp.o" "gcc" "src/baseline/CMakeFiles/fsml_baseline.dir/epoch_detector.cpp.o.d"
+  "/root/repo/src/baseline/shadow_detector.cpp" "src/baseline/CMakeFiles/fsml_baseline.dir/shadow_detector.cpp.o" "gcc" "src/baseline/CMakeFiles/fsml_baseline.dir/shadow_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_baseline.dir/epoch_detector.cpp.o"
+  "CMakeFiles/fsml_baseline.dir/epoch_detector.cpp.o.d"
+  "CMakeFiles/fsml_baseline.dir/shadow_detector.cpp.o"
+  "CMakeFiles/fsml_baseline.dir/shadow_detector.cpp.o.d"
+  "libfsml_baseline.a"
+  "libfsml_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

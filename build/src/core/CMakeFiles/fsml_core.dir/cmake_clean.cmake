@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_core.dir/advisor.cpp.o"
+  "CMakeFiles/fsml_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/fsml_core.dir/detector.cpp.o"
+  "CMakeFiles/fsml_core.dir/detector.cpp.o.d"
+  "CMakeFiles/fsml_core.dir/event_selection.cpp.o"
+  "CMakeFiles/fsml_core.dir/event_selection.cpp.o.d"
+  "CMakeFiles/fsml_core.dir/slices.cpp.o"
+  "CMakeFiles/fsml_core.dir/slices.cpp.o.d"
+  "CMakeFiles/fsml_core.dir/training.cpp.o"
+  "CMakeFiles/fsml_core.dir/training.cpp.o.d"
+  "libfsml_core.a"
+  "libfsml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

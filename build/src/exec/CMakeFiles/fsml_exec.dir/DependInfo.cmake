@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/arena.cpp" "src/exec/CMakeFiles/fsml_exec.dir/arena.cpp.o" "gcc" "src/exec/CMakeFiles/fsml_exec.dir/arena.cpp.o.d"
+  "/root/repo/src/exec/machine.cpp" "src/exec/CMakeFiles/fsml_exec.dir/machine.cpp.o" "gcc" "src/exec/CMakeFiles/fsml_exec.dir/machine.cpp.o.d"
+  "/root/repo/src/exec/sync.cpp" "src/exec/CMakeFiles/fsml_exec.dir/sync.cpp.o" "gcc" "src/exec/CMakeFiles/fsml_exec.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_exec.dir/arena.cpp.o"
+  "CMakeFiles/fsml_exec.dir/arena.cpp.o.d"
+  "CMakeFiles/fsml_exec.dir/machine.cpp.o"
+  "CMakeFiles/fsml_exec.dir/machine.cpp.o.d"
+  "CMakeFiles/fsml_exec.dir/sync.cpp.o"
+  "CMakeFiles/fsml_exec.dir/sync.cpp.o.d"
+  "libfsml_exec.a"
+  "libfsml_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/c45.cpp" "src/ml/CMakeFiles/fsml_ml.dir/c45.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/c45.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/fsml_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/fsml_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/eval.cpp" "src/ml/CMakeFiles/fsml_ml.dir/eval.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/eval.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/fsml_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/io.cpp" "src/ml/CMakeFiles/fsml_ml.dir/io.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/io.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/fsml_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/fsml_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/simple.cpp" "src/ml/CMakeFiles/fsml_ml.dir/simple.cpp.o" "gcc" "src/ml/CMakeFiles/fsml_ml.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_ml.dir/c45.cpp.o"
+  "CMakeFiles/fsml_ml.dir/c45.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/classifier.cpp.o"
+  "CMakeFiles/fsml_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/dataset.cpp.o"
+  "CMakeFiles/fsml_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/eval.cpp.o"
+  "CMakeFiles/fsml_ml.dir/eval.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/forest.cpp.o"
+  "CMakeFiles/fsml_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/io.cpp.o"
+  "CMakeFiles/fsml_ml.dir/io.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/knn.cpp.o"
+  "CMakeFiles/fsml_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/fsml_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/fsml_ml.dir/simple.cpp.o"
+  "CMakeFiles/fsml_ml.dir/simple.cpp.o.d"
+  "libfsml_ml.a"
+  "libfsml_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/counters.cpp" "src/pmu/CMakeFiles/fsml_pmu.dir/counters.cpp.o" "gcc" "src/pmu/CMakeFiles/fsml_pmu.dir/counters.cpp.o.d"
+  "/root/repo/src/pmu/events.cpp" "src/pmu/CMakeFiles/fsml_pmu.dir/events.cpp.o" "gcc" "src/pmu/CMakeFiles/fsml_pmu.dir/events.cpp.o.d"
+  "/root/repo/src/pmu/perf_backend.cpp" "src/pmu/CMakeFiles/fsml_pmu.dir/perf_backend.cpp.o" "gcc" "src/pmu/CMakeFiles/fsml_pmu.dir/perf_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_pmu.dir/counters.cpp.o"
+  "CMakeFiles/fsml_pmu.dir/counters.cpp.o.d"
+  "CMakeFiles/fsml_pmu.dir/events.cpp.o"
+  "CMakeFiles/fsml_pmu.dir/events.cpp.o.d"
+  "CMakeFiles/fsml_pmu.dir/perf_backend.cpp.o"
+  "CMakeFiles/fsml_pmu.dir/perf_backend.cpp.o.d"
+  "libfsml_pmu.a"
+  "libfsml_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

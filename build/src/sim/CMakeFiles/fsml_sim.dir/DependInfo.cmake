@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/fsml_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/fsml_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/machine_config.cpp" "src/sim/CMakeFiles/fsml_sim.dir/machine_config.cpp.o" "gcc" "src/sim/CMakeFiles/fsml_sim.dir/machine_config.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/sim/CMakeFiles/fsml_sim.dir/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/fsml_sim.dir/memory_system.cpp.o.d"
+  "/root/repo/src/sim/raw_events.cpp" "src/sim/CMakeFiles/fsml_sim.dir/raw_events.cpp.o" "gcc" "src/sim/CMakeFiles/fsml_sim.dir/raw_events.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/sim/CMakeFiles/fsml_sim.dir/tlb.cpp.o" "gcc" "src/sim/CMakeFiles/fsml_sim.dir/tlb.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/fsml_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/fsml_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_sim.dir/cache.cpp.o"
+  "CMakeFiles/fsml_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/fsml_sim.dir/machine_config.cpp.o"
+  "CMakeFiles/fsml_sim.dir/machine_config.cpp.o.d"
+  "CMakeFiles/fsml_sim.dir/memory_system.cpp.o"
+  "CMakeFiles/fsml_sim.dir/memory_system.cpp.o.d"
+  "CMakeFiles/fsml_sim.dir/raw_events.cpp.o"
+  "CMakeFiles/fsml_sim.dir/raw_events.cpp.o.d"
+  "CMakeFiles/fsml_sim.dir/tlb.cpp.o"
+  "CMakeFiles/fsml_sim.dir/tlb.cpp.o.d"
+  "CMakeFiles/fsml_sim.dir/trace.cpp.o"
+  "CMakeFiles/fsml_sim.dir/trace.cpp.o.d"
+  "libfsml_sim.a"
+  "libfsml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsml_sim.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trainers/matrix_programs.cpp" "src/trainers/CMakeFiles/fsml_trainers.dir/matrix_programs.cpp.o" "gcc" "src/trainers/CMakeFiles/fsml_trainers.dir/matrix_programs.cpp.o.d"
+  "/root/repo/src/trainers/registry.cpp" "src/trainers/CMakeFiles/fsml_trainers.dir/registry.cpp.o" "gcc" "src/trainers/CMakeFiles/fsml_trainers.dir/registry.cpp.o.d"
+  "/root/repo/src/trainers/scalar_programs.cpp" "src/trainers/CMakeFiles/fsml_trainers.dir/scalar_programs.cpp.o" "gcc" "src/trainers/CMakeFiles/fsml_trainers.dir/scalar_programs.cpp.o.d"
+  "/root/repo/src/trainers/sequential_programs.cpp" "src/trainers/CMakeFiles/fsml_trainers.dir/sequential_programs.cpp.o" "gcc" "src/trainers/CMakeFiles/fsml_trainers.dir/sequential_programs.cpp.o.d"
+  "/root/repo/src/trainers/vector_programs.cpp" "src/trainers/CMakeFiles/fsml_trainers.dir/vector_programs.cpp.o" "gcc" "src/trainers/CMakeFiles/fsml_trainers.dir/vector_programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/fsml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/fsml_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

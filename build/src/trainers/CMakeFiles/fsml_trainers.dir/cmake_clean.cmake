@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_trainers.dir/matrix_programs.cpp.o"
+  "CMakeFiles/fsml_trainers.dir/matrix_programs.cpp.o.d"
+  "CMakeFiles/fsml_trainers.dir/registry.cpp.o"
+  "CMakeFiles/fsml_trainers.dir/registry.cpp.o.d"
+  "CMakeFiles/fsml_trainers.dir/scalar_programs.cpp.o"
+  "CMakeFiles/fsml_trainers.dir/scalar_programs.cpp.o.d"
+  "CMakeFiles/fsml_trainers.dir/sequential_programs.cpp.o"
+  "CMakeFiles/fsml_trainers.dir/sequential_programs.cpp.o.d"
+  "CMakeFiles/fsml_trainers.dir/vector_programs.cpp.o"
+  "CMakeFiles/fsml_trainers.dir/vector_programs.cpp.o.d"
+  "libfsml_trainers.a"
+  "libfsml_trainers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_trainers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_util.dir/cli.cpp.o"
+  "CMakeFiles/fsml_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fsml_util.dir/stats.cpp.o"
+  "CMakeFiles/fsml_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fsml_util.dir/table.cpp.o"
+  "CMakeFiles/fsml_util.dir/table.cpp.o.d"
+  "CMakeFiles/fsml_util.dir/time_format.cpp.o"
+  "CMakeFiles/fsml_util.dir/time_format.cpp.o.d"
+  "libfsml_util.a"
+  "libfsml_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/parsec.cpp" "src/workloads/CMakeFiles/fsml_workloads.dir/parsec.cpp.o" "gcc" "src/workloads/CMakeFiles/fsml_workloads.dir/parsec.cpp.o.d"
+  "/root/repo/src/workloads/phoenix.cpp" "src/workloads/CMakeFiles/fsml_workloads.dir/phoenix.cpp.o" "gcc" "src/workloads/CMakeFiles/fsml_workloads.dir/phoenix.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/fsml_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/fsml_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trainers/CMakeFiles/fsml_trainers.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fsml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/fsml_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

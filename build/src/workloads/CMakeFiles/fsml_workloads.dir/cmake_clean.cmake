@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_workloads.dir/parsec.cpp.o"
+  "CMakeFiles/fsml_workloads.dir/parsec.cpp.o.d"
+  "CMakeFiles/fsml_workloads.dir/phoenix.cpp.o"
+  "CMakeFiles/fsml_workloads.dir/phoenix.cpp.o.d"
+  "CMakeFiles/fsml_workloads.dir/workload.cpp.o"
+  "CMakeFiles/fsml_workloads.dir/workload.cpp.o.d"
+  "libfsml_workloads.a"
+  "libfsml_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

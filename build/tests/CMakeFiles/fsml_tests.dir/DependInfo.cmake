@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor_test.cpp" "tests/CMakeFiles/fsml_tests.dir/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/advisor_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/fsml_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/fsml_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/fsml_tests.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/exec_test.cpp.o.d"
+  "/root/repo/tests/ml_test.cpp" "tests/CMakeFiles/fsml_tests.dir/ml_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/ml_test.cpp.o.d"
+  "/root/repo/tests/perf_backend_test.cpp" "tests/CMakeFiles/fsml_tests.dir/perf_backend_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/perf_backend_test.cpp.o.d"
+  "/root/repo/tests/pmu_test.cpp" "tests/CMakeFiles/fsml_tests.dir/pmu_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/pmu_test.cpp.o.d"
+  "/root/repo/tests/sim_coherence_test.cpp" "tests/CMakeFiles/fsml_tests.dir/sim_coherence_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/sim_coherence_test.cpp.o.d"
+  "/root/repo/tests/sim_structures_test.cpp" "tests/CMakeFiles/fsml_tests.dir/sim_structures_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/sim_structures_test.cpp.o.d"
+  "/root/repo/tests/slices_test.cpp" "tests/CMakeFiles/fsml_tests.dir/slices_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/slices_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/fsml_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/fsml_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/fsml_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/trainers_test.cpp" "tests/CMakeFiles/fsml_tests.dir/trainers_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/trainers_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/fsml_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/fsml_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/fsml_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/fsml_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fsml_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fsml_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trainers/CMakeFiles/fsml_trainers.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fsml_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/fsml_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsml_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

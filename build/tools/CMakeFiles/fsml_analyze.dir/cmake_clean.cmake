@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsml_analyze.dir/fsml_analyze.cpp.o"
+  "CMakeFiles/fsml_analyze.dir/fsml_analyze.cpp.o.d"
+  "fsml_analyze"
+  "fsml_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsml_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
