@@ -2,18 +2,25 @@
 //
 // Every bench accepts:
 //   --cache=PATH   training-data cache (default fsml_training_cache.csv in
-//                  the working directory; collected on first use, ~20 s)
+//                  the working directory; collected on first use)
 //   --seed=N       experiment seed
+//   --jobs=N       host threads for collection/sweeps (default = all
+//                  hardware threads, 1 = serial; results are bit-identical
+//                  for any N — see src/par)
 // plus bench-specific options documented in each binary.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "baseline/shadow_detector.hpp"
 #include "core/detector.hpp"
 #include "core/training.hpp"
+#include "par/parallel_for.hpp"
+#include "par/thread_pool.hpp"
 #include "trainers/trainer.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -22,10 +29,27 @@
 
 namespace fsml::bench {
 
+/// --jobs=N resolved to an executing-thread count (0/absent = hardware).
+inline std::size_t cli_jobs(const util::Cli& cli) {
+  const std::int64_t jobs = cli.get_int("jobs", 0);
+  if (jobs < 0 || jobs > 4096)
+    throw std::runtime_error("option --jobs expects 0..4096, got " +
+                             std::to_string(jobs));
+  return jobs == 0 ? par::ThreadPool::hardware_workers()
+                   : static_cast<std::size_t>(jobs);
+}
+
+/// A pool sized so that `cli_jobs` threads execute once the submitting
+/// thread joins in (parallel_for work-shares with the caller).
+inline par::ThreadPool make_pool(const util::Cli& cli) {
+  return par::ThreadPool(cli_jobs(cli) - 1);
+}
+
 /// Loads (or collects and caches) the full training data set.
 inline core::TrainingData training_data(const util::Cli& cli) {
   core::TrainingConfig config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  config.jobs = cli_jobs(cli);
   const std::string cache =
       cli.get("cache", "fsml_training_cache.csv");
   return core::collect_or_load(config, cache, &std::cerr);
@@ -85,6 +109,20 @@ inline VerifiedCase run_verified(const workloads::Workload& w,
   out.fs_rate = report.false_sharing_rate();
   out.actual_fs = report.has_false_sharing();
   return out;
+}
+
+/// Runs many cases of one workload on the host pool, one simulation per
+/// job; results come back in `cases` order, so tables built from them are
+/// identical to a serial sweep.
+inline std::vector<VerifiedCase> run_verified_cases(
+    par::ThreadPool& pool, const workloads::Workload& w,
+    const std::vector<workloads::WorkloadCase>& cases,
+    const core::FalseSharingDetector& detector,
+    const sim::MachineConfig& machine) {
+  return par::parallel_transform(
+      pool, cases, [&](const workloads::WorkloadCase& wcase) {
+        return run_verified(w, wcase, detector, machine);
+      });
 }
 
 /// The thread counts the ground-truth tool can verify (8-thread limit).

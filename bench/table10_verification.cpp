@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const core::TrainingData data = bench::training_data(cli);
   const core::FalseSharingDetector detector = bench::trained_detector(data);
   const auto machine = sim::MachineConfig::westmere_dp(12);
+  par::ThreadPool pool = bench::make_pool(cli);
 
   std::printf(
       "Table 10: verification of our detection by the shadow-memory ground "
@@ -33,22 +34,21 @@ int main(int argc, char** argv) {
   for (const workloads::Workload* w : workloads::all_workloads()) {
     int cases = 0, actual_fs = 0, detected_fs = 0;
     int cell_tp = 0, cell_fp = 0;
-    for (const std::string& input : bench::verifiable_inputs(*w)) {
-      for (const workloads::OptLevel opt : w->opt_levels()) {
-        for (const std::uint32_t t : bench::verifiable_threads(w->suite())) {
-          const workloads::WorkloadCase wcase{input, opt, t, seed};
-          const bench::VerifiedCase v =
-              bench::run_verified(*w, wcase, detector, machine);
-          ++cases;
-          const bool we_say_fs = v.detected == trainers::Mode::kBadFs;
-          if (v.actual_fs) ++actual_fs;
-          if (we_say_fs) ++detected_fs;
-          if (v.actual_fs && we_say_fs) ++cell_tp, ++tp;
-          else if (!v.actual_fs && we_say_fs) ++cell_fp, ++fp;
-          else if (v.actual_fs && !we_say_fs) ++fn;
-          else ++tn;
-        }
-      }
+    std::vector<workloads::WorkloadCase> wcases;
+    for (const std::string& input : bench::verifiable_inputs(*w))
+      for (const workloads::OptLevel opt : w->opt_levels())
+        for (const std::uint32_t t : bench::verifiable_threads(w->suite()))
+          wcases.push_back({input, opt, t, seed});
+    for (const bench::VerifiedCase& v :
+         bench::run_verified_cases(pool, *w, wcases, detector, machine)) {
+      ++cases;
+      const bool we_say_fs = v.detected == trainers::Mode::kBadFs;
+      if (v.actual_fs) ++actual_fs;
+      if (we_say_fs) ++detected_fs;
+      if (v.actual_fs && we_say_fs) ++cell_tp, ++tp;
+      else if (!v.actual_fs && we_say_fs) ++cell_fp, ++fp;
+      else if (v.actual_fs && !we_say_fs) ++fn;
+      else ++tn;
     }
     total_cases += static_cast<std::uint64_t>(cases);
     table.add_row({std::string(to_string(w->suite())),

@@ -19,30 +19,32 @@ struct ProgramResult {
   int good = 0, bad_fs = 0, bad_ma = 0;
 };
 
-ProgramResult classify_program(const workloads::Workload& w,
+ProgramResult classify_program(par::ThreadPool& pool,
+                               const workloads::Workload& w,
                                const core::FalseSharingDetector& detector,
                                const sim::MachineConfig& machine,
                                std::uint64_t seed) {
   ProgramResult result;
   result.name = std::string(w.name());
   result.suite = w.suite();
-  std::vector<trainers::Mode> verdicts;
   const std::vector<std::uint32_t> threads =
       w.suite() == workloads::Suite::kPhoenix
           ? std::vector<std::uint32_t>{3, 6, 9, 12}
           : std::vector<std::uint32_t>{4, 8, 12};
-  for (const std::string& input : w.input_sets()) {
-    for (const workloads::OptLevel opt : w.opt_levels()) {
-      for (const std::uint32_t t : threads) {
-        const workloads::WorkloadCase wcase{input, opt, t, seed};
-        const workloads::WorkloadRun run = run_workload(w, wcase, machine);
-        const trainers::Mode v = detector.classify(run.features);
-        verdicts.push_back(v);
-        if (v == trainers::Mode::kGood) ++result.good;
-        else if (v == trainers::Mode::kBadFs) ++result.bad_fs;
-        else ++result.bad_ma;
-      }
-    }
+  std::vector<workloads::WorkloadCase> cases;
+  for (const std::string& input : w.input_sets())
+    for (const workloads::OptLevel opt : w.opt_levels())
+      for (const std::uint32_t t : threads)
+        cases.push_back({input, opt, t, seed});
+
+  const std::vector<trainers::Mode> verdicts = par::parallel_transform(
+      pool, cases, [&](const workloads::WorkloadCase& wcase) {
+        return detector.classify(run_workload(w, wcase, machine).features);
+      });
+  for (const trainers::Mode v : verdicts) {
+    if (v == trainers::Mode::kGood) ++result.good;
+    else if (v == trainers::Mode::kBadFs) ++result.bad_fs;
+    else ++result.bad_ma;
   }
   result.overall = core::FalseSharingDetector::majority(verdicts);
   return result;
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   const core::TrainingData data = bench::training_data(cli);
   const core::FalseSharingDetector detector = bench::trained_detector(data);
   const auto machine = sim::MachineConfig::westmere_dp(12);
+  par::ThreadPool pool = bench::make_pool(cli);
 
   std::printf("Table 5: classification results for benchmark programs\n\n");
   util::Table table(
@@ -70,7 +73,7 @@ int main(int argc, char** argv) {
 
   bool all_match = true;
   for (const workloads::Workload* w : workloads::all_workloads()) {
-    const ProgramResult r = classify_program(*w, detector, machine, seed);
+    const ProgramResult r = classify_program(pool, *w, detector, machine, seed);
     const std::string ours = std::string(trainers::to_string(r.overall));
     const std::string paper = paper_class(r.name);
     if (ours != paper) all_match = false;

@@ -1,13 +1,18 @@
 #include "core/training.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "par/parallel_for.hpp"
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
+#include "util/time_format.hpp"
 
 namespace fsml::core {
 
@@ -68,6 +73,153 @@ double median_seconds(const std::vector<const LabeledInstance*>& group) {
   return util::median(std::move(secs));
 }
 
+// ---- job enumeration -------------------------------------------------------
+//
+// Collection is a pure map over independent simulations: the full job list
+// is enumerated up front in the canonical (program, size, threads, mode,
+// rep) order, executed on a host-thread pool in whatever order the
+// scheduler picks, and then filtered group-by-group in enumeration order.
+// Each job's RNG seed derives from its coordinates (run_seed), never from
+// execution order, so any `jobs` setting produces bit-identical rows.
+
+struct CollectJob {
+  const MiniProgram* program = nullptr;
+  std::uint64_t size = 0;
+  std::uint32_t threads = 1;
+  Mode mode = Mode::kGood;
+  AccessPattern pattern = AccessPattern::kLinear;
+  int rep = 0;
+  bool part_a = true;
+};
+
+/// One filter group: [begin, end) into the job list. Part A groups share
+/// (program, size, threads); Part B groups share (program, size).
+struct JobGroup {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool part_a = true;
+};
+
+void enumerate_jobs(const TrainingConfig& config,
+                    std::vector<CollectJob>& jobs,
+                    std::vector<JobGroup>& groups) {
+  for (const MiniProgram* program : trainers::multithreaded_set()) {
+    for (const std::uint64_t size : program->default_sizes()) {
+      for (const std::uint32_t threads : config.thread_counts) {
+        JobGroup group{jobs.size(), 0, true};
+        for (int r = 0; r < config.reps_good; ++r)
+          jobs.push_back({program, size, threads, Mode::kGood,
+                          AccessPattern::kLinear, r, true});
+        for (int r = 0; r < config.reps_bad_fs; ++r)
+          jobs.push_back({program, size, threads, Mode::kBadFs,
+                          AccessPattern::kLinear, r, true});
+        if (program->supports_bad_ma()) {
+          for (int r = 0; r < config.reps_bad_ma; ++r) {
+            const AccessPattern pattern = r % 2 == 0
+                                              ? AccessPattern::kRandom
+                                              : AccessPattern::kStrided;
+            jobs.push_back(
+                {program, size, threads, Mode::kBadMa, pattern, r, true});
+          }
+        }
+        group.end = jobs.size();
+        groups.push_back(group);
+      }
+    }
+  }
+  for (const MiniProgram* program : trainers::sequential_set()) {
+    for (const std::uint64_t size : program->default_sizes()) {
+      JobGroup group{jobs.size(), 0, false};
+      for (int r = 0; r < config.seq_reps_good; ++r)
+        jobs.push_back({program, size, 1, Mode::kGood, AccessPattern::kLinear,
+                        r, false});
+      for (const AccessPattern pattern :
+           {AccessPattern::kRandom, AccessPattern::kStrided}) {
+        for (int r = 0; r < config.seq_reps_bad_ma; ++r)
+          jobs.push_back(
+              {program, size, 1, Mode::kBadMa, pattern, r, false});
+      }
+      group.end = jobs.size();
+      groups.push_back(group);
+    }
+  }
+}
+
+// ---- significance filters (paper Table 3) ----------------------------------
+
+/// Part-A filter: census the group, drop its bad-ma instances when they are
+/// not significantly slower than good; append survivors to `data`.
+void filter_group_a(std::vector<LabeledInstance> group,
+                    const TrainingConfig& config, TrainingData& data) {
+  std::vector<const LabeledInstance*> good, bad_ma;
+  for (const LabeledInstance& inst : group) {
+    if (inst.label == kGood) {
+      ++data.census_a.initial_good;
+      good.push_back(&inst);
+    } else if (inst.label == kBadFs) {
+      ++data.census_a.initial_bad_fs;
+    } else {
+      ++data.census_a.initial_bad_ma;
+      bad_ma.push_back(&inst);
+    }
+  }
+  bool drop_bad_ma = false;
+  if (config.filter && !bad_ma.empty()) {
+    const double good_med = median_seconds(good);
+    const double bad_med = median_seconds(bad_ma);
+    drop_bad_ma = bad_med < config.significance_gap * good_med;
+  }
+  for (LabeledInstance& inst : group) {
+    if (drop_bad_ma && inst.label == kBadMa) {
+      ++data.census_a.removed_bad_ma;
+      continue;
+    }
+    data.instances.push_back(std::move(inst));
+  }
+}
+
+/// Part-B filter: drop insignificant bad-ma patterns; if none of the
+/// patterns is significant the whole group (good included) goes.
+void filter_group_b(std::vector<LabeledInstance> group,
+                    const TrainingConfig& config, TrainingData& data) {
+  std::vector<const LabeledInstance*> good;
+  std::map<AccessPattern, std::vector<const LabeledInstance*>> bad_ma;
+  for (const LabeledInstance& inst : group) {
+    if (inst.label == kGood) {
+      ++data.census_b.initial_good;
+      good.push_back(&inst);
+    } else {
+      ++data.census_b.initial_bad_ma;
+      bad_ma[inst.pattern].push_back(&inst);
+    }
+  }
+
+  std::vector<AccessPattern> dropped_patterns;
+  if (config.filter) {
+    const double good_med = median_seconds(good);
+    for (const auto& [pattern, instances] : bad_ma) {
+      if (median_seconds(instances) < config.significance_gap * good_med)
+        dropped_patterns.push_back(pattern);
+    }
+  }
+  const bool drop_group = dropped_patterns.size() == bad_ma.size() &&
+                          !bad_ma.empty() && config.filter;
+  for (LabeledInstance& inst : group) {
+    const bool dropped_pattern =
+        inst.label == kBadMa &&
+        std::find(dropped_patterns.begin(), dropped_patterns.end(),
+                  inst.pattern) != dropped_patterns.end();
+    if (drop_group || dropped_pattern) {
+      if (inst.label == kGood)
+        ++data.census_b.removed_good;
+      else
+        ++data.census_b.removed_bad_ma;
+      continue;
+    }
+    data.instances.push_back(std::move(inst));
+  }
+}
+
 }  // namespace
 
 TrainingConfig TrainingConfig::reduced() {
@@ -83,122 +235,67 @@ TrainingConfig TrainingConfig::reduced() {
 
 TrainingData collect_training_data(const TrainingConfig& config,
                                    std::ostream* log) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<CollectJob> jobs;
+  std::vector<JobGroup> groups;
+  enumerate_jobs(config, jobs, groups);
+
+  const std::size_t n_jobs =
+      config.jobs == 0 ? par::ThreadPool::hardware_workers() : config.jobs;
+  // The submitting thread participates in parallel_for, so a pool of
+  // n_jobs - 1 workers gives exactly n_jobs executing threads; jobs == 1
+  // runs everything inline on this thread (the pre-pool behaviour).
+  par::ThreadPool pool(n_jobs - 1);
+
+  std::mutex log_mutex;
+  std::size_t completed = 0;
+  const std::size_t progress_step = std::max<std::size_t>(jobs.size() / 16, 1);
+  if (log)
+    *log << "collecting " << jobs.size() << " training runs on " << n_jobs
+         << " job(s)\n"
+         << std::flush;
+
+  std::vector<LabeledInstance> instances = par::parallel_transform(
+      pool, jobs, [&](const CollectJob& job) {
+        LabeledInstance inst =
+            run_one(*job.program, job.size, job.threads, job.mode,
+                    job.pattern, job.rep, config, job.part_a);
+        if (log) {
+          const std::lock_guard<std::mutex> lock(log_mutex);
+          ++completed;
+          if (completed % progress_step == 0 || completed == jobs.size())
+            *log << "collected " << completed << '/' << jobs.size()
+                 << " runs\n"
+                 << std::flush;
+        }
+        return inst;
+      });
+
+  // Census + significance filtering run serially in enumeration order, so
+  // the assembled rows are independent of the execution schedule above.
   TrainingData data;
-  const auto log_line = [log](const std::string& s) {
-    if (log) *log << s << '\n' << std::flush;
-  };
-
-  // ---- Part A: multi-threaded programs ------------------------------------
-  for (const MiniProgram* program : trainers::multithreaded_set()) {
-    log_line("collecting part A: " + std::string(program->name()));
-    for (const std::uint64_t size : program->default_sizes()) {
-      for (const std::uint32_t threads : config.thread_counts) {
-        std::vector<LabeledInstance> group;
-        for (int r = 0; r < config.reps_good; ++r)
-          group.push_back(run_one(*program, size, threads, Mode::kGood,
-                                  AccessPattern::kLinear, r, config, true));
-        for (int r = 0; r < config.reps_bad_fs; ++r)
-          group.push_back(run_one(*program, size, threads, Mode::kBadFs,
-                                  AccessPattern::kLinear, r, config, true));
-        if (program->supports_bad_ma()) {
-          for (int r = 0; r < config.reps_bad_ma; ++r) {
-            const AccessPattern pattern = r % 2 == 0
-                                              ? AccessPattern::kRandom
-                                              : AccessPattern::kStrided;
-            group.push_back(run_one(*program, size, threads, Mode::kBadMa,
-                                    pattern, r, config, true));
-          }
-        }
-
-        // Census + the Part-A filter (drop insignificant bad-ma).
-        std::vector<const LabeledInstance*> good, bad_ma;
-        for (const LabeledInstance& inst : group) {
-          if (inst.label == kGood) {
-            ++data.census_a.initial_good;
-            good.push_back(&inst);
-          } else if (inst.label == kBadFs) {
-            ++data.census_a.initial_bad_fs;
-          } else {
-            ++data.census_a.initial_bad_ma;
-            bad_ma.push_back(&inst);
-          }
-        }
-        bool drop_bad_ma = false;
-        if (config.filter && !bad_ma.empty()) {
-          const double good_med = median_seconds(good);
-          const double bad_med = median_seconds(bad_ma);
-          drop_bad_ma = bad_med < config.significance_gap * good_med;
-        }
-        for (LabeledInstance& inst : group) {
-          if (drop_bad_ma && inst.label == kBadMa) {
-            ++data.census_a.removed_bad_ma;
-            continue;
-          }
-          data.instances.push_back(std::move(inst));
-        }
-      }
-    }
+  for (const JobGroup& group : groups) {
+    std::vector<LabeledInstance> members(
+        std::make_move_iterator(instances.begin() +
+                                static_cast<std::ptrdiff_t>(group.begin)),
+        std::make_move_iterator(instances.begin() +
+                                static_cast<std::ptrdiff_t>(group.end)));
+    if (group.part_a)
+      filter_group_a(std::move(members), config, data);
+    else
+      filter_group_b(std::move(members), config, data);
   }
 
-  // ---- Part B: sequential programs ----------------------------------------
-  for (const MiniProgram* program : trainers::sequential_set()) {
-    log_line("collecting part B: " + std::string(program->name()));
-    for (const std::uint64_t size : program->default_sizes()) {
-      std::vector<LabeledInstance> group;
-      for (int r = 0; r < config.seq_reps_good; ++r)
-        group.push_back(run_one(*program, size, 1, Mode::kGood,
-                                AccessPattern::kLinear, r, config, false));
-      for (const AccessPattern pattern :
-           {AccessPattern::kRandom, AccessPattern::kStrided}) {
-        for (int r = 0; r < config.seq_reps_bad_ma; ++r)
-          group.push_back(run_one(*program, size, 1, Mode::kBadMa, pattern, r,
-                                  config, false));
-      }
-
-      std::vector<const LabeledInstance*> good;
-      std::map<AccessPattern, std::vector<const LabeledInstance*>> bad_ma;
-      for (const LabeledInstance& inst : group) {
-        if (inst.label == kGood) {
-          ++data.census_b.initial_good;
-          good.push_back(&inst);
-        } else {
-          ++data.census_b.initial_bad_ma;
-          bad_ma[inst.pattern].push_back(&inst);
-        }
-      }
-
-      // Part-B filter: drop insignificant bad-ma patterns; if none of the
-      // patterns is significant the whole group (good included) goes.
-      std::vector<AccessPattern> dropped_patterns;
-      if (config.filter) {
-        const double good_med = median_seconds(good);
-        for (const auto& [pattern, instances] : bad_ma) {
-          if (median_seconds(instances) <
-              config.significance_gap * good_med)
-            dropped_patterns.push_back(pattern);
-        }
-      }
-      const bool drop_group = dropped_patterns.size() == bad_ma.size() &&
-                              !bad_ma.empty() && config.filter;
-      for (LabeledInstance& inst : group) {
-        const bool dropped_pattern =
-            inst.label == kBadMa &&
-            std::find(dropped_patterns.begin(), dropped_patterns.end(),
-                      inst.pattern) != dropped_patterns.end();
-        if (drop_group || dropped_pattern) {
-          if (inst.label == kGood)
-            ++data.census_b.removed_good;
-          else
-            ++data.census_b.removed_bad_ma;
-          continue;
-        }
-        data.instances.push_back(std::move(inst));
-      }
-    }
+  if (log) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    *log << "collection complete: " << data.instances.size()
+         << " instances in " << util::auto_time(elapsed) << " ("
+         << n_jobs << " job(s))\n"
+         << std::flush;
   }
-
-  log_line("collection complete: " +
-           std::to_string(data.instances.size()) + " instances");
   return data;
 }
 
@@ -291,6 +388,11 @@ TrainingData TrainingData::load_csv(std::istream& is) {
     inst.part_a = field == "A";
     data.instances.push_back(std::move(inst));
   }
+  // A file truncated at a row boundary parses cleanly but is still missing
+  // data; the census header pins the expected row count.
+  FSML_CHECK_MSG(data.instances.size() ==
+                     data.census_a.final_total() + data.census_b.final_total(),
+                 "training CSV row count does not match its census");
   return data;
 }
 
@@ -299,8 +401,17 @@ TrainingData collect_or_load(const TrainingConfig& config,
   {
     std::ifstream in(path);
     if (in) {
-      if (log) *log << "loading cached training data from " << path << '\n';
-      return TrainingData::load_csv(in);
+      try {
+        TrainingData data = TrainingData::load_csv(in);
+        if (log) *log << "loaded cached training data from " << path << '\n';
+        return data;
+      } catch (const std::exception& e) {
+        // A truncated or corrupt cache must not take the pipeline down (or
+        // worse, silently feed it a partial dataset): discard and re-collect.
+        if (log)
+          *log << "training cache " << path << " is unusable (" << e.what()
+               << "); re-collecting\n";
+      }
     }
   }
   TrainingData data = collect_training_data(config, log);

@@ -39,6 +39,11 @@ struct TrainingConfig {
   double significance_gap = 1.20;  ///< bad must be >= 20% slower than good
   bool filter = true;
   std::uint64_t seed = 42;
+  /// Host threads running simulations concurrently. 0 = hardware
+  /// concurrency; 1 = fully serial (the pre-fsml::par behaviour). Any value
+  /// yields bit-identical TrainingData: every run's seed derives from its
+  /// job coordinates and rows assemble in job-list order (see src/par).
+  std::size_t jobs = 0;
   sim::MachineConfig machine = sim::MachineConfig::westmere_dp(12);
 
   /// Smaller configuration for unit tests (2 sizes, 2 thread counts, 1 rep).
@@ -83,11 +88,18 @@ struct TrainingData {
   static TrainingData load_csv(std::istream& is);
 };
 
-/// Runs the full collection. Progress lines go to `log` if non-null.
+/// Runs the full collection: the (program x mode x threads x size x rep)
+/// job list is enumerated up front and executed on `config.jobs` host
+/// threads (each job builds its own exec::Machine), then rows are filtered
+/// and assembled in job-list order. Progress lines go to `log` if non-null;
+/// writes to `log` are serialized across jobs.
 TrainingData collect_training_data(const TrainingConfig& config,
                                    std::ostream* log = nullptr);
 
-/// Loads the cache at `path` if present, otherwise collects and saves it.
+/// Loads the cache at `path` if present and well-formed, otherwise collects
+/// and saves it. A truncated or corrupt cache file is rejected and
+/// re-collected (and overwritten) instead of crashing or silently loading
+/// bad data.
 TrainingData collect_or_load(const TrainingConfig& config,
                              const std::string& path,
                              std::ostream* log = nullptr);

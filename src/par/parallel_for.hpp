@@ -1,0 +1,145 @@
+// Chunked parallel iteration on a ThreadPool.
+//
+// The determinism contract (see thread_pool.hpp): these helpers decide only
+// the *schedule*. parallel_for(pool, n, fn) calls fn(i) exactly once for
+// every i in [0, n); parallel_transform places result i at output index i.
+// Any pool size — including zero workers — therefore yields bit-identical
+// results as long as fn(i) itself is independent of execution order.
+//
+// Exceptions: every index runs to completion even after a failure (no
+// cancellation — it would make *which* exception surfaces a race), then the
+// exception thrown by the lowest failing index is rethrown. "First" is
+// defined by the input ordering, not by wall-clock, so error reporting is
+// deterministic too.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace fsml::par {
+
+namespace detail {
+
+/// Shared bookkeeping for one parallel_for: chunk dispenser + completion
+/// latch + deterministic first-error slot.
+struct ForState {
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t num_chunks = 0;
+  std::size_t grain = 1;
+  std::size_t n = 0;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t completed_chunks = 0;        // guarded by mutex
+  std::exception_ptr error;                // guarded by mutex
+  std::size_t error_index = 0;             // guarded by mutex
+
+  void record_error(std::exception_ptr e, std::size_t index) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error || index < error_index) {
+      error = std::move(e);
+      error_index = index;
+    }
+  }
+};
+
+/// Runs chunks from `state` until the dispenser is empty. Called by pool
+/// workers and by the submitting thread alike (work sharing).
+template <class Fn>
+void run_chunks(const std::shared_ptr<ForState>& state, const Fn& fn) {
+  for (;;) {
+    const std::size_t chunk = state->next_chunk.fetch_add(1);
+    if (chunk >= state->num_chunks) return;
+    const std::size_t begin = chunk * state->grain;
+    const std::size_t end = std::min(begin + state->grain, state->n);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        state->record_error(std::current_exception(), i);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->completed_chunks;
+    }
+    state->done_cv.notify_one();
+  }
+}
+
+}  // namespace detail
+
+/// Calls fn(i) for every i in [0, n), `grain` consecutive indices per task.
+/// The calling thread participates, so any pool (even zero workers) makes
+/// progress. Nested calls from a pool worker run entirely inline.
+template <class Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+                  std::size_t grain = 1) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+
+  // Serial paths: no workers, single chunk, or we *are* a worker (nested
+  // parallel_for must not wait on a queue only we could drain).
+  if (pool.worker_count() == 0 || n <= grain || pool.on_worker_thread()) {
+    std::exception_ptr error;  // serial order: first caught == lowest index
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  auto state = std::make_shared<detail::ForState>();
+  state->grain = grain;
+  state->n = n;
+  state->num_chunks = (n + grain - 1) / grain;
+
+  // Enough runners to occupy the pool, never more than there are chunks
+  // (a runner that wakes to an empty dispenser exits immediately anyway).
+  const std::size_t runners =
+      std::min(pool.worker_count(), state->num_chunks - 1);
+  for (std::size_t r = 0; r < runners; ++r)
+    pool.submit([state, &fn] { detail::run_chunks(state, fn); });
+
+  detail::run_chunks(state, fn);  // the caller works too
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&state] {
+    return state->completed_chunks == state->num_chunks;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+/// Maps `fn` over `items`, returning results in input order. Exception
+/// semantics and scheduling as parallel_for.
+template <class T, class Fn>
+auto parallel_transform(ThreadPool& pool, const std::vector<T>& items,
+                        Fn&& fn, std::size_t grain = 1)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>> {
+  using R = std::decay_t<decltype(fn(items.front()))>;
+  std::vector<std::optional<R>> slots(items.size());
+  parallel_for(
+      pool, items.size(),
+      [&](std::size_t i) { slots[i].emplace(fn(items[i])); }, grain);
+  std::vector<R> out;
+  out.reserve(items.size());
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace fsml::par

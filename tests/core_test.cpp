@@ -4,6 +4,8 @@
 // persistence).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/detector.hpp"
@@ -87,6 +89,81 @@ TEST(Training, CsvRoundTripPreservesEverything) {
 TEST(Training, LoadCsvRejectsGarbage) {
   std::stringstream ss("not a training file");
   EXPECT_THROW(core::TrainingData::load_csv(ss), std::exception);
+}
+
+TEST(Training, LoadCsvRejectsRowBoundaryTruncation) {
+  // A cache cut at a row boundary parses line-by-line; the census header
+  // must still expose the missing rows.
+  std::stringstream full;
+  reduced_data().save_csv(full);
+  std::string text = full.str();
+  text.erase(text.rfind('\n', text.size() - 2) + 1);  // drop the last row
+  std::stringstream truncated(text);
+  EXPECT_THROW(core::TrainingData::load_csv(truncated), std::exception);
+}
+
+// ---- collect_or_load cache behaviour --------------------------------------
+
+class TrainingCache : public ::testing::Test {
+ protected:
+  TrainingCache() : path_(::testing::TempDir() + "fsml_cache_test.csv") {
+    std::remove(path_.c_str());
+    config_ = core::TrainingConfig::reduced();
+    config_.thread_counts = {3};  // smallest useful grid: re-collected twice
+  }
+  ~TrainingCache() override { std::remove(path_.c_str()); }
+
+  void expect_same(const core::TrainingData& a, const core::TrainingData& b) {
+    ASSERT_EQ(a.instances.size(), b.instances.size());
+    EXPECT_EQ(a.census_a.initial_good, b.census_a.initial_good);
+    EXPECT_EQ(a.census_b.initial_bad_ma, b.census_b.initial_bad_ma);
+    for (std::size_t i = 0; i < a.instances.size(); ++i) {
+      EXPECT_EQ(a.instances[i].program, b.instances[i].program);
+      EXPECT_EQ(a.instances[i].label, b.instances[i].label);
+      EXPECT_EQ(a.instances[i].threads, b.instances[i].threads);
+      for (std::size_t f = 0; f < pmu::kNumFeatures; ++f)
+        EXPECT_DOUBLE_EQ(a.instances[i].features.at(f),
+                         b.instances[i].features.at(f));
+    }
+  }
+
+  std::string file_contents() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void write_file(const std::string& text) const {
+    std::ofstream out(path_, std::ios::trunc);
+    out << text;
+  }
+
+  std::string path_;
+  core::TrainingConfig config_;
+};
+
+TEST_F(TrainingCache, SaveThenLoadYieldsIdenticalDataset) {
+  const auto collected = core::collect_or_load(config_, path_);  // collects
+  const auto loaded = core::collect_or_load(config_, path_);     // loads
+  expect_same(collected, loaded);
+}
+
+TEST_F(TrainingCache, CorruptCacheTriggersCleanRecollection) {
+  const auto collected = core::collect_or_load(config_, path_);
+  const std::string good_file = file_contents();
+
+  // Truncated mid-line: parsing fails partway through a row.
+  write_file(good_file.substr(0, good_file.size() / 2));
+  const auto after_truncation = core::collect_or_load(config_, path_);
+  expect_same(collected, after_truncation);
+  EXPECT_EQ(file_contents(), good_file);  // cache was rewritten, not left bad
+
+  // Outright garbage.
+  write_file("these are not the rows you are looking for\n");
+  const auto after_garbage = core::collect_or_load(config_, path_);
+  expect_same(collected, after_garbage);
+  EXPECT_EQ(file_contents(), good_file);
 }
 
 TEST(Training, DeterministicForSeed) {

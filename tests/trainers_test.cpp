@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "core/training.hpp"
 #include "sim/machine_config.hpp"
 #include "trainers/trainer.hpp"
 
@@ -179,6 +180,55 @@ TEST(Traversal, BijectiveForAllPatterns) {
 TEST(Traversal, LinearIsIdentity) {
   trainers::Traversal t(AccessPattern::kLinear, 100, 16, 1);
   for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(t.index(i), i);
+}
+
+// ---- host-parallel collection determinism ---------------------------------
+//
+// The fsml::par contract: the jobs knob decides only host scheduling, never
+// simulated results. Collecting the same grid with 1 and 4 host threads
+// must produce bit-identical TrainingData — features, labels, provenance,
+// census, and row order.
+
+void expect_bit_identical(const fsml::core::TrainingData& a,
+                          const fsml::core::TrainingData& b) {
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  EXPECT_EQ(a.census_a.initial_good, b.census_a.initial_good);
+  EXPECT_EQ(a.census_a.initial_bad_fs, b.census_a.initial_bad_fs);
+  EXPECT_EQ(a.census_a.initial_bad_ma, b.census_a.initial_bad_ma);
+  EXPECT_EQ(a.census_a.removed_bad_ma, b.census_a.removed_bad_ma);
+  EXPECT_EQ(a.census_b.initial_good, b.census_b.initial_good);
+  EXPECT_EQ(a.census_b.initial_bad_ma, b.census_b.initial_bad_ma);
+  EXPECT_EQ(a.census_b.removed_good, b.census_b.removed_good);
+  EXPECT_EQ(a.census_b.removed_bad_ma, b.census_b.removed_bad_ma);
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    const auto& x = a.instances[i];
+    const auto& y = b.instances[i];
+    EXPECT_EQ(x.program, y.program) << "row " << i;
+    EXPECT_EQ(x.size, y.size) << "row " << i;
+    EXPECT_EQ(x.threads, y.threads) << "row " << i;
+    EXPECT_EQ(x.label, y.label) << "row " << i;
+    EXPECT_EQ(x.pattern, y.pattern) << "row " << i;
+    EXPECT_EQ(x.part_a, y.part_a) << "row " << i;
+    EXPECT_EQ(x.seconds, y.seconds) << "row " << i;  // exact, not approx
+    for (std::size_t f = 0; f < pmu::kNumFeatures; ++f)
+      EXPECT_EQ(x.features.at(f), y.features.at(f))
+          << "row " << i << " feature " << f;
+  }
+}
+
+TEST(TrainingParallel, ParallelCollectionIsBitIdenticalToSerial) {
+  fsml::core::TrainingConfig config = fsml::core::TrainingConfig::reduced();
+  config.thread_counts = {3};  // trim the grid: this collects three times
+
+  config.jobs = 1;
+  const auto serial = fsml::core::collect_training_data(config);
+  config.jobs = 4;
+  const auto parallel_a = fsml::core::collect_training_data(config);
+  const auto parallel_b = fsml::core::collect_training_data(config);
+
+  EXPECT_GT(serial.instances.size(), 0u);
+  expect_bit_identical(serial, parallel_a);   // jobs must not change results
+  expect_bit_identical(parallel_a, parallel_b);  // nor make them flaky
 }
 
 }  // namespace

@@ -22,6 +22,8 @@
 #include "core/detector.hpp"
 #include "core/slices.hpp"
 #include "core/training.hpp"
+#include "par/parallel_for.hpp"
+#include "par/thread_pool.hpp"
 #include "pmu/events.hpp"
 #include "trainers/trainer.hpp"
 #include "util/cli.hpp"
@@ -43,6 +45,9 @@ int usage() {
       "fsml_training_cache.csv)\n"
       "            --out=FILE   (model file, default fsml.tree)\n"
       "            --reduced    (small grid, ~3 s instead of ~20 s)\n"
+      "            --jobs=N     (host threads for collection; default = all\n"
+      "                          hardware threads, 1 = serial; any N yields\n"
+      "                          bit-identical training data)\n"
       "  classify  classify one case of a benchmark proxy\n"
       "            --workload=NAME --input=SET --opt=-O2 --threads=8\n"
       "            --model=FILE --seed=N\n"
@@ -51,10 +56,19 @@ int usage() {
       "threads)\n"
       "            --advise          print mitigation recommendations\n"
       "  sweep     classify every case of one program (Table-5 style)\n"
-      "            --workload=NAME --model=FILE\n"
+      "            --workload=NAME --model=FILE --jobs=N\n"
       "  list      available workloads and mini-programs\n"
       "  events    the modelled Westmere event table (paper Table 2)\n");
   return 2;
+}
+
+std::size_t cli_jobs(const util::Cli& cli) {
+  const std::int64_t jobs = cli.get_int("jobs", 0);
+  if (jobs < 0 || jobs > 4096)
+    throw std::runtime_error("option --jobs expects 0..4096, got " +
+                             std::to_string(jobs));
+  return jobs == 0 ? par::ThreadPool::hardware_workers()
+                   : static_cast<std::size_t>(jobs);
 }
 
 core::FalseSharingDetector load_or_train(const util::Cli& cli) {
@@ -70,6 +84,7 @@ core::FalseSharingDetector load_or_train(const util::Cli& cli) {
                        "to persist one)\n",
                model_path.c_str());
   core::TrainingConfig config = core::TrainingConfig::reduced();
+  config.jobs = cli_jobs(cli);
   core::FalseSharingDetector detector;
   detector.train(core::collect_training_data(config));
   return detector;
@@ -79,6 +94,7 @@ int cmd_train(const util::Cli& cli) {
   core::TrainingConfig config;
   if (cli.get_bool("reduced", false)) config = core::TrainingConfig::reduced();
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  config.jobs = cli_jobs(cli);
   const core::TrainingData data = core::collect_or_load(
       config, cli.get("cache", "fsml_training_cache.csv"), &std::cerr);
   core::FalseSharingDetector detector;
@@ -157,22 +173,35 @@ int cmd_sweep(const util::Cli& cli) {
   const core::FalseSharingDetector detector = load_or_train(cli);
   const auto machine = sim::MachineConfig::westmere_dp(12);
 
+  // Enumerate the case grid, then run the simulations on the host pool;
+  // parallel_transform keeps the table in grid order regardless of which
+  // case finishes first.
+  std::vector<workloads::WorkloadCase> cases;
+  for (const std::string& input : w.input_sets())
+    for (const workloads::OptLevel opt : w.opt_levels())
+      for (const std::uint32_t t : {4u, 8u, 12u})
+        cases.push_back({input, opt, t,
+                         static_cast<std::uint64_t>(cli.get_int("seed", 7))});
+
+  par::ThreadPool pool(cli_jobs(cli) - 1);
+  struct CaseResult {
+    double seconds = 0.0;
+    trainers::Mode verdict = trainers::Mode::kGood;
+  };
+  const std::vector<CaseResult> results = par::parallel_transform(
+      pool, cases, [&](const workloads::WorkloadCase& wcase) {
+        const auto run = run_workload(w, wcase, machine);
+        return CaseResult{run.seconds, detector.classify(run.features)};
+      });
+
   util::Table table({"input", "opt", "T", "time", "verdict"});
   std::vector<trainers::Mode> verdicts;
-  for (const std::string& input : w.input_sets()) {
-    for (const workloads::OptLevel opt : w.opt_levels()) {
-      for (const std::uint32_t t : {4u, 8u, 12u}) {
-        const workloads::WorkloadCase wcase{
-            input, opt, t,
-            static_cast<std::uint64_t>(cli.get_int("seed", 7))};
-        const auto run = run_workload(w, wcase, machine);
-        const auto verdict = detector.classify(run.features);
-        verdicts.push_back(verdict);
-        table.add_row({input, std::string(to_string(opt)), std::to_string(t),
-                       util::auto_time(run.seconds),
-                       std::string(trainers::to_string(verdict))});
-      }
-    }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    verdicts.push_back(results[i].verdict);
+    table.add_row({cases[i].input, std::string(to_string(cases[i].opt)),
+                   std::to_string(cases[i].threads),
+                   util::auto_time(results[i].seconds),
+                   std::string(trainers::to_string(results[i].verdict))});
   }
   table.render(std::cout);
   std::printf("overall (majority): %s\n",
