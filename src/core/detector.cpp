@@ -1,11 +1,36 @@
 #include "core/detector.hpp"
 
 #include <array>
+#include <cmath>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
 namespace fsml::core {
+
+void RobustConfig::validate() const {
+  if (repeats < 1 || repeats > 1001)
+    throw std::runtime_error("RobustConfig: repeats must be in 1..1001");
+  if (std::isnan(min_confidence) || min_confidence < 0.0 ||
+      min_confidence > 1.0)
+    throw std::runtime_error(
+        "RobustConfig: min_confidence must be in [0, 1]");
+}
+
+std::string RobustVerdict::to_string() const {
+  std::ostringstream os;
+  if (known) {
+    os << trainers::to_string(mode) << " (confidence " << confidence << ", "
+       << votes[static_cast<std::size_t>(label_of(mode))] << '/' << repeats
+       << " runs)";
+  } else {
+    os << "unknown (" << classified << '/' << repeats
+       << " runs classified)";
+  }
+  return os.str();
+}
 
 FalseSharingDetector::FalseSharingDetector(ml::C45Params params)
     : tree_(params) {}
@@ -25,6 +50,40 @@ trainers::Mode FalseSharingDetector::classify(
     const pmu::FeatureVector& features) const {
   FSML_CHECK_MSG(trained_, "detector is not trained");
   return mode_of(tree_.predict(features.values()));
+}
+
+RobustVerdict FalseSharingDetector::classify_robust(
+    const MeasureFn& measure, const RobustConfig& config) const {
+  FSML_CHECK_MSG(trained_, "detector is not trained");
+  config.validate();
+
+  RobustVerdict out;
+  out.repeats = static_cast<std::size_t>(config.repeats);
+  for (std::size_t r = 0; r < out.repeats; ++r) {
+    const std::optional<pmu::FeatureVector> features = measure(r);
+    if (!features) continue;  // unusable measurement; retry bounded by loop
+    ++out.classified;
+    ++out.votes[static_cast<std::size_t>(label_of(classify(*features)))];
+  }
+  if (out.classified == 0) return out;  // nothing usable: unknown
+
+  // Same severity-ordered scan as majority(): ties go to the worse verdict.
+  const std::array<int, 3> severity_order = {kBadFs, kBadMa, kGood};
+  int best = kGood;
+  std::size_t best_count = 0;
+  for (const int label : severity_order) {
+    if (out.votes[static_cast<std::size_t>(label)] > best_count) {
+      best = label;
+      best_count = out.votes[static_cast<std::size_t>(label)];
+    }
+  }
+  out.confidence = static_cast<double>(best_count) /
+                   static_cast<double>(out.classified);
+  if (out.confidence >= config.min_confidence) {
+    out.known = true;
+    out.mode = mode_of(best);
+  }
+  return out;
 }
 
 trainers::Mode FalseSharingDetector::majority(
@@ -69,6 +128,21 @@ FalseSharingDetector FalseSharingDetector::load_file(const std::string& path) {
   std::ifstream is(path);
   FSML_CHECK_MSG(static_cast<bool>(is), "cannot open " + path);
   return load(is);
+}
+
+RobustVerdict classify_degraded(const FalseSharingDetector& detector,
+                                const exec::RunResult& run,
+                                const pmu::MeasurementModel& model,
+                                const RobustConfig& config,
+                                std::uint64_t measurement_base) {
+  return detector.classify_robust(
+      [&](std::size_t r) -> std::optional<pmu::FeatureVector> {
+        const pmu::DegradedSnapshot snapshot =
+            model.measure(run.aggregate, run.slices, measurement_base + r);
+        if (!snapshot.usable()) return std::nullopt;
+        return snapshot.to_features();
+      },
+      config);
 }
 
 }  // namespace fsml::core

@@ -1,0 +1,105 @@
+// Robustness evaluation harness: how gracefully does the detection
+// pipeline degrade as measurement quality drops?
+//
+// The harness simulates an evaluation set of mini-program runs once (with
+// time-slicing enabled, so counter multiplexing has real phase variation to
+// lose), then sweeps a grid of noise level x counter-group size x drop
+// probability. At every grid point each run is classified through
+// classify_degraded() — the bounded re-measure / majority-vote / abstain
+// loop — and scored against its ground-truth label. The clean single-shot
+// classification of the same runs is the baseline every point is compared
+// against.
+//
+//   core::RobustnessConfig cfg;                 // default sweep grid
+//   core::RobustnessReport report =
+//       core::evaluate_robustness(detector, cfg, &std::cerr);
+//   report.write_json(out);                     // machine-readable artifact
+//
+// Both the run collection and the grid sweep fan out on the fsml::par pool;
+// every model seed derives from (config.seed, grid coordinates) and every
+// measurement from (run index, repeat), so any `jobs` value produces a
+// bit-identical report.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "sim/machine_config.hpp"
+
+namespace fsml::core {
+
+struct RobustnessConfig {
+  /// Sweep axes. `counter_groups` entries are programmable-counter counts
+  /// (0 = no multiplexing, 4 = Westmere).
+  std::vector<double> jitters = {0.0, 0.02, 0.05, 0.10, 0.20};
+  std::vector<std::size_t> counter_groups = {0, 8, 4, 2};
+  std::vector<double> drops = {0.0, 0.05, 0.15};
+
+  /// Vote policy at every grid point.
+  int repeats = 5;
+  double min_confidence = 0.6;
+
+  std::uint64_t seed = 42;
+  std::size_t jobs = 0;  ///< host threads; 0 = hardware concurrency
+
+  /// Virtual-time slice for the evaluation runs (gives multiplexing its
+  /// coverage error); 0 disables slicing.
+  sim::Cycles slice_cycles = 25000;
+
+  /// Smaller evaluation set (3 programs, one thread count) for tests/CI.
+  bool reduced = false;
+
+  sim::MachineConfig machine = sim::MachineConfig::westmere_dp(12);
+
+  /// Throws std::runtime_error on empty axes or out-of-range values.
+  void validate() const;
+};
+
+/// Scores of one sweep cell (or of the clean baseline).
+struct RobustnessPoint {
+  double jitter = 0.0;
+  std::size_t counters = 0;
+  double drop = 0.0;
+
+  std::size_t runs = 0;        ///< evaluation runs scored
+  std::size_t classified = 0;  ///< runs with a known verdict
+  std::size_t abstained = 0;   ///< runs the detector declined to call
+  std::size_t correct = 0;     ///< known verdicts matching the label
+  /// Runs labelled good whose *known* verdict was bad-fs or bad-ma. An
+  /// abstention on a good run is degraded coverage, never a false alarm.
+  std::size_t false_positives = 0;
+
+  /// Accuracy over the runs the detector was willing to call.
+  double accuracy() const {
+    return classified == 0 ? 0.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(classified);
+  }
+  /// Fraction of runs that got a verdict at all.
+  double coverage() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(classified) /
+                           static_cast<double>(runs);
+  }
+};
+
+struct RobustnessReport {
+  RobustnessPoint baseline;  ///< clean single-shot classification
+  std::vector<RobustnessPoint> points;  ///< grid order: jitter, counters, drop
+  int repeats = 0;
+  double min_confidence = 0.0;
+  std::uint64_t seed = 0;
+
+  /// The accuracy-vs-noise artifact: schema "fsml-robustness-v1".
+  void write_json(std::ostream& os) const;
+};
+
+/// Runs the full sweep. Progress lines go to `log` if non-null.
+RobustnessReport evaluate_robustness(const FalseSharingDetector& detector,
+                                     const RobustnessConfig& config,
+                                     std::ostream* log = nullptr);
+
+}  // namespace fsml::core

@@ -132,6 +132,21 @@ std::unique_ptr<Classifier> C45Tree::make_untrained() const {
 
 namespace {
 
+/// One (possibly fractional) training instance inside the builder. Fully
+/// observed data keeps weight exactly 1.0, so every weighted sum below
+/// reproduces the integer-count arithmetic bit-for-bit; only instances
+/// missing a split attribute are ever subdivided.
+struct Item {
+  std::size_t index = 0;
+  double weight = 1.0;
+};
+
+/// Fractional weights below this are dropped when an instance is split
+/// across branches — they cannot influence a (min 2 instances) leaf and
+/// bounding them keeps item lists from growing without bound on data with
+/// many missing values.
+constexpr double kMinItemWeight = 1e-6;
+
 struct Builder {
   const Dataset& data;
   const C45Params& params;
@@ -143,65 +158,100 @@ struct Builder {
     double gain_ratio = 0.0;
   };
 
-  std::unique_ptr<C45Tree::Node> build(std::vector<std::size_t>& indices,
-                                       int depth) {
+  std::unique_ptr<C45Tree::Node> build(std::vector<Item>& items, int depth) {
     auto node = std::make_unique<C45Tree::Node>();
     node->class_counts.assign(data.num_classes(), 0.0);
-    for (const std::size_t i : indices)
-      node->class_counts[static_cast<std::size_t>(data.at(i).y)] += 1.0;
+    double n = 0.0;
+    for (const Item& it : items) {
+      node->class_counts[static_cast<std::size_t>(data.at(it.index).y)] +=
+          it.weight;
+      n += it.weight;
+    }
     const auto max_it = std::max_element(node->class_counts.begin(),
                                          node->class_counts.end());
     node->predicted_class =
         static_cast<int>(std::distance(node->class_counts.begin(), max_it));
-    const double n = static_cast<double>(indices.size());
     node->training_errors = n - *max_it;
 
     const bool pure = *max_it == n;
-    if (pure || indices.size() < 2 * params.min_leaf_instances ||
+    if (pure || n < 2.0 * static_cast<double>(params.min_leaf_instances) ||
         depth >= params.max_depth) {
       return node;  // leaf
     }
 
-    const auto best = find_best_split(indices, node->class_counts);
+    const auto best = find_best_split(items, n);
     if (!best) return node;
 
-    std::vector<std::size_t> left_idx, right_idx;
-    left_idx.reserve(indices.size());
-    right_idx.reserve(indices.size());
-    for (const std::size_t i : indices) {
-      if (data.at(i).x[best->attribute] <= best->threshold)
-        left_idx.push_back(i);
-      else
-        right_idx.push_back(i);
+    // Known values pick a side; instances missing the split attribute go to
+    // BOTH sides, weighted by the known-value proportions (Quinlan ch. 5).
+    double left_known = 0.0, known = 0.0;
+    for (const Item& it : items) {
+      const double v = data.at(it.index).x[best->attribute];
+      if (is_missing(v)) continue;
+      known += it.weight;
+      if (v <= best->threshold) left_known += it.weight;
     }
-    FSML_DCHECK(!left_idx.empty() && !right_idx.empty());
+    const double left_share = left_known / known;
+
+    std::vector<Item> left_items, right_items;
+    left_items.reserve(items.size());
+    right_items.reserve(items.size());
+    for (const Item& it : items) {
+      const double v = data.at(it.index).x[best->attribute];
+      if (is_missing(v)) {
+        const double lw = it.weight * left_share;
+        const double rw = it.weight - lw;
+        if (lw >= kMinItemWeight) left_items.push_back({it.index, lw});
+        if (rw >= kMinItemWeight) right_items.push_back({it.index, rw});
+        continue;
+      }
+      (v <= best->threshold ? left_items : right_items).push_back(it);
+    }
+    FSML_DCHECK(!left_items.empty() && !right_items.empty());
 
     node->is_leaf = false;
     node->attribute = best->attribute;
     node->threshold = best->threshold;
-    node->left = build(left_idx, depth + 1);
-    node->right = build(right_idx, depth + 1);
+    node->left = build(left_items, depth + 1);
+    node->right = build(right_items, depth + 1);
     return node;
   }
 
-  std::optional<BestSplit> find_best_split(
-      const std::vector<std::size_t>& indices,
-      const std::vector<double>& total_counts) {
-    const double n = static_cast<double>(indices.size());
-    const double base_entropy = entropy(total_counts);
+  std::optional<BestSplit> find_best_split(const std::vector<Item>& items,
+                                           double total_weight) {
     const std::size_t num_classes = data.num_classes();
 
     std::vector<BestSplit> candidates;  // best per attribute
-    std::vector<std::size_t> sorted = indices;
+    std::vector<Item> sorted;
+    std::vector<double> known_counts(num_classes);
 
     for (std::size_t a = 0; a < data.num_attributes(); ++a) {
+      // Gain is computed on the instances whose value for `a` is known,
+      // then discounted by the known fraction F = known/total. With no
+      // missing values F is exactly 1 and this matches the unweighted
+      // criterion bit-for-bit.
+      sorted.clear();
+      std::fill(known_counts.begin(), known_counts.end(), 0.0);
+      double known_weight = 0.0;
+      for (const Item& it : items) {
+        if (is_missing(data.at(it.index).x[a])) continue;
+        sorted.push_back(it);
+        known_counts[static_cast<std::size_t>(data.at(it.index).y)] +=
+            it.weight;
+        known_weight += it.weight;
+      }
+      if (sorted.size() < 2) continue;
       std::sort(sorted.begin(), sorted.end(),
-                [&](std::size_t i, std::size_t j) {
-                  return data.at(i).x[a] < data.at(j).x[a];
+                [&](const Item& i, const Item& j) {
+                  return data.at(i.index).x[a] < data.at(j.index).x[a];
                 });
 
+      const double base_entropy = entropy(known_counts);
+      const double known_fraction = known_weight / total_weight;
+      const double missing_weight = total_weight - known_weight;
+
       std::vector<double> left_counts(num_classes, 0.0);
-      std::vector<double> right_counts = total_counts;
+      std::vector<double> right_counts = known_counts;
 
       double best_gain = 0.0;
       double best_threshold = 0.0;
@@ -209,26 +259,34 @@ struct Builder {
       std::size_t num_candidates = 0;
       bool found = false;
 
+      double left_weight = 0.0;
       for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
-        const Instance& cur = data.at(sorted[pos]);
-        left_counts[static_cast<std::size_t>(cur.y)] += 1.0;
-        right_counts[static_cast<std::size_t>(cur.y)] -= 1.0;
-        const double next_val = data.at(sorted[pos + 1]).x[a];
+        const Instance& cur = data.at(sorted[pos].index);
+        left_counts[static_cast<std::size_t>(cur.y)] += sorted[pos].weight;
+        right_counts[static_cast<std::size_t>(cur.y)] -= sorted[pos].weight;
+        left_weight += sorted[pos].weight;
+        const double next_val = data.at(sorted[pos + 1].index).x[a];
         if (cur.x[a] == next_val) continue;  // not a cut point
-        const std::size_t left_n = pos + 1;
-        const std::size_t right_n = sorted.size() - left_n;
-        if (left_n < params.min_leaf_instances ||
-            right_n < params.min_leaf_instances)
+        const double right_weight = known_weight - left_weight;
+        if (left_weight < static_cast<double>(params.min_leaf_instances) ||
+            right_weight < static_cast<double>(params.min_leaf_instances))
           continue;
         ++num_candidates;
-        const double pl = static_cast<double>(left_n) / n;
-        const double pr = static_cast<double>(right_n) / n;
-        const double gain = base_entropy - pl * entropy(left_counts) -
-                            pr * entropy(right_counts);
+        const double pl = left_weight / known_weight;
+        const double pr = right_weight / known_weight;
+        const double gain =
+            known_fraction * (base_entropy - pl * entropy(left_counts) -
+                              pr * entropy(right_counts));
         if (gain > best_gain) {
           best_gain = gain;
           best_threshold = 0.5 * (cur.x[a] + next_val);
-          best_split_info = -pl * log2_safe(pl) - pr * log2_safe(pr);
+          // Split info charges the *three*-way partition the split actually
+          // induces: left, right, and the unknown bucket.
+          const double ql = left_weight / total_weight;
+          const double qr = right_weight / total_weight;
+          const double qm = missing_weight / total_weight;
+          best_split_info = -ql * log2_safe(ql) - qr * log2_safe(qr) -
+                            (qm > 0.0 ? qm * log2_safe(qm) : 0.0);
           found = true;
         }
       }
@@ -237,7 +295,8 @@ struct Builder {
       // C4.5 Release-8 MDL correction: charge log2(#thresholds)/n bits for
       // having chosen among num_candidates cut points.
       if (params.mdl_correction && num_candidates > 0)
-        best_gain -= std::log2(static_cast<double>(num_candidates)) / n;
+        best_gain -= std::log2(static_cast<double>(num_candidates)) /
+                     total_weight;
       if (best_gain <= 0.0) continue;
       BestSplit s;
       s.attribute = a;
@@ -300,36 +359,75 @@ void C45Tree::train(const Dataset& data) {
   class_names_ = data.class_names();
   trained_num_classes_ = data.num_classes();
 
-  std::vector<std::size_t> indices(data.size());
-  std::iota(indices.begin(), indices.end(), 0);
+  std::vector<Item> items(data.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    items[i] = Item{i, data.at(i).weight};
   Builder builder{data, params_};
-  root_ = builder.build(indices, 0);
+  root_ = builder.build(items, 0);
   if (params_.prune) prune_node(*root_, params_.confidence_factor);
 }
+
+namespace {
+
+/// Adds this subtree's class distribution for `x`, scaled by `weight`. A
+/// node testing a missing attribute forwards the instance down both
+/// branches in proportion to the training weight each branch received.
+void accumulate_distribution(const C45Tree::Node& node,
+                             std::span<const double> x, double weight,
+                             std::vector<double>& out) {
+  if (node.is_leaf) {
+    const double total = std::accumulate(node.class_counts.begin(),
+                                         node.class_counts.end(), 0.0);
+    if (total > 0) {
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] += weight * node.class_counts[i] / total;
+    } else {
+      for (double& o : out) o += weight / static_cast<double>(out.size());
+    }
+    return;
+  }
+  const double v = x[node.attribute];
+  if (is_missing(v)) {
+    const double lw = std::accumulate(node.left->class_counts.begin(),
+                                      node.left->class_counts.end(), 0.0);
+    const double rw = std::accumulate(node.right->class_counts.begin(),
+                                      node.right->class_counts.end(), 0.0);
+    const double total = lw + rw;
+    const double left_share = total > 0 ? lw / total : 0.5;
+    accumulate_distribution(*node.left, x, weight * left_share, out);
+    accumulate_distribution(*node.right, x, weight * (1.0 - left_share),
+                            out);
+    return;
+  }
+  accumulate_distribution(v <= node.threshold ? *node.left : *node.right, x,
+                          weight, out);
+}
+
+}  // namespace
 
 int C45Tree::predict(std::span<const double> x) const {
   FSML_CHECK_MSG(root_ != nullptr, "C45Tree is not trained");
   const Node* node = root_.get();
-  while (!node->is_leaf)
-    node = x[node->attribute] <= node->threshold ? node->left.get()
-                                                 : node->right.get();
+  while (!node->is_leaf) {
+    const double v = x[node->attribute];
+    if (is_missing(v)) {
+      // Fractional descent from here on; argmax of the combined
+      // distribution (ties resolve to the lowest class index, like
+      // max_element over class_counts does on the fast path).
+      std::vector<double> dist(node->class_counts.size(), 0.0);
+      accumulate_distribution(*node, x, 1.0, dist);
+      return static_cast<int>(std::distance(
+          dist.begin(), std::max_element(dist.begin(), dist.end())));
+    }
+    node = v <= node->threshold ? node->left.get() : node->right.get();
+  }
   return node->predicted_class;
 }
 
 std::vector<double> C45Tree::distribution(std::span<const double> x) const {
   FSML_CHECK_MSG(root_ != nullptr, "C45Tree is not trained");
-  const Node* node = root_.get();
-  while (!node->is_leaf)
-    node = x[node->attribute] <= node->threshold ? node->left.get()
-                                                 : node->right.get();
-  const double total = std::accumulate(node->class_counts.begin(),
-                                       node->class_counts.end(), 0.0);
-  std::vector<double> dist(node->class_counts.size(),
-                           1.0 / static_cast<double>(
-                                     node->class_counts.size()));
-  if (total > 0)
-    for (std::size_t i = 0; i < dist.size(); ++i)
-      dist[i] = node->class_counts[i] / total;
+  std::vector<double> dist(root_->class_counts.size(), 0.0);
+  accumulate_distribution(*root_, x, 1.0, dist);
   return dist;
 }
 

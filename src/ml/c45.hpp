@@ -10,7 +10,14 @@
 //    (gain -= log2(#candidate thresholds)/n);
 //  * minimum-instances-per-leaf stopping (J48 default 2);
 //  * pessimistic error pruning with confidence factor 0.25 (J48 default),
-//    using the binomial upper-confidence error estimate.
+//    using the binomial upper-confidence error estimate;
+//  * Quinlan's fractional-instance missing-value handling: gains are
+//    computed on known values and scaled by the known fraction, instances
+//    missing the split attribute descend both branches with proportional
+//    weights, and classification of a vector with NaN slots combines the
+//    branch distributions the same way. Training and classifying datasets
+//    without missing values is bit-identical to a tree without this
+//    machinery (weights are exactly 1.0 and all scale factors cancel).
 //
 // The learned tree can be rendered as text (the paper's Figure 2) and
 // serialized/deserialized for model persistence.
@@ -48,6 +55,7 @@ class C45Tree final : public Classifier {
   std::string name() const override {
     return params_.prune ? "J48 (C4.5)" : "J48 (C4.5, unpruned)";
   }
+  bool handles_missing() const override { return true; }
   std::unique_ptr<Classifier> make_untrained() const override;
 
   const C45Params& params() const { return params_; }

@@ -17,8 +17,15 @@ class Classifier {
   /// Fits the model; may be called again to refit.
   virtual void train(const Dataset& data) = 0;
 
-  /// Predicted class index for a feature vector.
+  /// Predicted class index for a feature vector. Vectors may contain
+  /// kMissingValue (NaN) slots only if handles_missing() is true.
   virtual int predict(std::span<const double> x) const = 0;
+
+  /// Whether predict()/train() accept missing (NaN) attribute values.
+  /// Classifiers without explicit support would silently mispropagate NaN
+  /// through their arithmetic, so callers with degraded measurements must
+  /// check this.
+  virtual bool handles_missing() const { return false; }
 
   /// Class membership distribution; default is a one-hot of predict().
   virtual std::vector<double> distribution(std::span<const double> x) const;

@@ -14,17 +14,29 @@ Dataset::Dataset(std::vector<std::string> attribute_names,
   FSML_CHECK_MSG(class_names_.size() >= 2, "need at least two classes");
 }
 
-void Dataset::add(std::vector<double> values, int label) {
+void Dataset::add(std::vector<double> values, int label, double weight) {
   FSML_CHECK_MSG(values.size() == attribute_names_.size(),
                  "attribute count mismatch");
   FSML_CHECK_MSG(label >= 0 && static_cast<std::size_t>(label) <
                                    class_names_.size(),
                  "class label out of range");
-  instances_.push_back(Instance{std::move(values), label});
+  FSML_CHECK_MSG(weight > 0.0, "instance weight must be positive");
+  instances_.push_back(Instance{std::move(values), label, weight});
 }
 
 void Dataset::add(const Instance& instance) {
-  add(instance.x, instance.y);
+  add(instance.x, instance.y, instance.weight);
+}
+
+std::size_t Dataset::num_incomplete() const {
+  std::size_t n = 0;
+  for (const Instance& inst : instances_)
+    for (const double v : inst.x)
+      if (is_missing(v)) {
+        ++n;
+        break;
+      }
+  return n;
 }
 
 const std::string& Dataset::class_name(int label) const {

@@ -3,9 +3,19 @@
 // All attributes are continuous (the paper's features are normalized event
 // counts); the class attribute is nominal. Layout and terminology follow
 // Weka loosely so the J48 comparison in the paper maps one-to-one.
+//
+// Missing values: an attribute value of NaN (kMissingValue) marks a feature
+// that was not measured — e.g. a PMU event dropped under counter
+// multiplexing. C4.5 handles them with Quinlan's fractional-instance
+// scheme; the other classifiers do not (see Classifier::handles_missing).
+// Instances also carry a weight, which that scheme uses to distribute an
+// instance fractionally across tree branches; fully-observed data always
+// has weight 1.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,9 +24,16 @@
 
 namespace fsml::ml {
 
+/// Sentinel for an unmeasured attribute value.
+inline constexpr double kMissingValue =
+    std::numeric_limits<double>::quiet_NaN();
+
+inline bool is_missing(double v) { return std::isnan(v); }
+
 struct Instance {
-  std::vector<double> x;
-  int y = 0;  ///< class index
+  std::vector<double> x;  ///< attribute values; NaN = missing
+  int y = 0;              ///< class index
+  double weight = 1.0;    ///< fractional-instance weight (training only)
 };
 
 class Dataset {
@@ -24,8 +41,11 @@ class Dataset {
   Dataset(std::vector<std::string> attribute_names,
           std::vector<std::string> class_names);
 
-  void add(std::vector<double> values, int label);
+  void add(std::vector<double> values, int label, double weight = 1.0);
   void add(const Instance& instance);
+
+  /// Instances with at least one missing attribute value.
+  std::size_t num_incomplete() const;
 
   std::size_t size() const { return instances_.size(); }
   bool empty() const { return instances_.empty(); }

@@ -1,7 +1,11 @@
 #include "pmu/perf_backend.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #if defined(__linux__)
 #include <linux/perf_event.h>
@@ -44,6 +48,28 @@ int open_counter(std::uint32_t type, std::uint64_t config) {
 constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
                                      std::uint64_t result) {
   return cache | (op << 8) | (result << 16);
+}
+
+std::string open_error(int err) {
+  if (err == EACCES || err == EPERM)
+    return std::string(std::strerror(err)) +
+           " (perf access denied — lower /proc/sys/kernel/"
+           "perf_event_paranoid or grant CAP_PERFMON)";
+  return std::strerror(err);
+}
+
+// Counter reads can be interrupted (EINTR) or transiently unready (EAGAIN);
+// retry with a short bounded backoff before declaring the value lost.
+bool read_counter(int fd, void* buf, std::size_t size) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const ssize_t n = read(fd, buf, static_cast<std::size_t>(size));
+    if (n == static_cast<ssize_t>(size)) return true;
+    if (n >= 0) return false;  // short read: malformed, do not retry
+    if (errno != EINTR && errno != EAGAIN) return false;
+    if (attempt > 0)  // EINTR is usually instantaneous; back off after that
+      std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
+  }
+  return false;
 }
 
 }  // namespace
@@ -104,7 +130,7 @@ PerfCounterGroup::PerfCounterGroup(std::vector<PerfEventSpec> specs) {
   for (PerfEventSpec& spec : specs) {
     const int fd = open_counter(spec.type, spec.config);
     if (fd < 0) {
-      failures_.push_back(spec.label + ": " + std::strerror(errno));
+      failures_.push_back(spec.label + ": " + open_error(errno));
       ok_ = false;
       continue;
     }
@@ -118,7 +144,14 @@ PerfCounterGroup::~PerfCounterGroup() {
 }
 
 void PerfCounterGroup::start() {
-  FSML_CHECK_MSG(ok_, "cannot start a group with failed counters");
+  if (!ok_) {
+    // Environment problem (container, paranoid kernel), not a programming
+    // error: report what failed and how to fix it instead of aborting.
+    std::ostringstream os;
+    os << "perf backend unavailable:";
+    for (const std::string& f : failures_) os << "\n  " << f;
+    throw std::runtime_error(os.str());
+  }
   FSML_CHECK_MSG(!running_, "group already running");
   for (OpenCounter& c : counters_) {
     ioctl(c.fd, PERF_EVENT_IOC_RESET, 0);
@@ -138,7 +171,7 @@ CounterSnapshot PerfCounterGroup::stop() {
       std::uint64_t time_enabled;
       std::uint64_t time_running;
     } data{};
-    if (read(c.fd, &data, sizeof(data)) != sizeof(data)) continue;
+    if (!read_counter(c.fd, &data, sizeof(data))) continue;
     std::uint64_t value = data.value;
     // Compensate kernel multiplexing.
     if (data.time_running > 0 && data.time_running < data.time_enabled) {
@@ -169,10 +202,14 @@ bool perf_available() { return false; }
 std::vector<PerfEventSpec> generic_event_specs() { return {}; }
 std::vector<PerfEventSpec> westmere_event_specs() { return {}; }
 
-PerfCounterGroup::PerfCounterGroup(std::vector<PerfEventSpec>) {}
+PerfCounterGroup::PerfCounterGroup(std::vector<PerfEventSpec>) {
+  failures_.push_back("perf_event is not available on this platform");
+}
 PerfCounterGroup::~PerfCounterGroup() = default;
 void PerfCounterGroup::start() {
-  FSML_CHECK_MSG(false, "perf_event is not available on this platform");
+  throw std::runtime_error(
+      "perf backend unavailable: perf_event is not available on this "
+      "platform");
 }
 CounterSnapshot PerfCounterGroup::stop() { return {}; }
 bool PerfCounterGroup::measure(const std::vector<PerfEventSpec>&,

@@ -22,7 +22,10 @@
 // retraining on the target machine is required, exactly as the paper says).
 //
 // Everything degrades gracefully: in sandboxes/containers without
-// perf_event access, available() is false and ok() groups refuse to start.
+// perf_event access, available() is false and start() on a failed group
+// raises a clear "perf backend unavailable" error naming each event that
+// could not be opened (with the perf_event_paranoid remedy) instead of
+// aborting the process.
 #pragma once
 
 #include <cstdint>
@@ -72,8 +75,13 @@ class PerfCounterGroup {
   /// Events that failed to open (diagnostics).
   const std::vector<std::string>& failures() const { return failures_; }
 
+  /// Throws std::runtime_error ("perf backend unavailable", with per-event
+  /// diagnostics and the perf_event_paranoid hint) when !ok() — an
+  /// environment problem, not a programming error.
   void start();
-  /// Stops counting and returns the (multiplex-scaled) snapshot.
+  /// Stops counting and returns the (multiplex-scaled) snapshot. Transient
+  /// read failures (EINTR/EAGAIN) are retried with bounded backoff; a
+  /// counter that still cannot be read is skipped, not fatal.
   CounterSnapshot stop();
 
   /// Convenience: measure one callable. Returns ok() && counts.

@@ -228,6 +228,118 @@ TEST(C45, DescribeMentionsLeafAndNodeCounts) {
   EXPECT_NE(text.find("Size of the tree"), std::string::npos);
 }
 
+// ---- C4.5 missing values ----------------------------------------------------
+
+TEST(C45Missing, LearnsDespiteMissingTrainingValues) {
+  util::Rng rng(18);
+  Dataset d = separable(40, rng);
+  // A batch of instances whose signal attribute was not measured: the
+  // fractional-instance machinery must absorb them without losing the split.
+  for (int i = 0; i < 10; ++i) {
+    d.add({ml::kMissingValue, rng.next_double() * 10}, i % 2);
+  }
+  EXPECT_EQ(d.num_incomplete(), 10u);
+  ml::C45Tree tree;
+  tree.train(d);
+  util::Rng probe(19);
+  const Dataset clean = separable(20, probe);
+  for (const auto& inst : clean.instances())
+    EXPECT_EQ(tree.predict(inst.x), inst.y);
+}
+
+TEST(C45Missing, PredictWithNaNCombinesBranchDistributions) {
+  util::Rng rng(20);
+  const Dataset d = separable(50, rng);
+  ml::C45Tree tree;
+  tree.train(d);
+  ASSERT_TRUE(tree.handles_missing());
+  // The split attribute is missing: the prediction blends both branches by
+  // their training weight — here a 50/50 class balance.
+  const std::vector<double> x = {ml::kMissingValue, 5.0};
+  const auto dist = tree.distribution(x);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-9);
+  EXPECT_NEAR(dist[0], 0.5, 0.05);
+  const int predicted = tree.predict(x);
+  EXPECT_TRUE(predicted == 0 || predicted == 1);
+  // predict() must agree with the argmax of distribution().
+  EXPECT_EQ(predicted, dist[0] >= dist[1] ? 0 : 1);
+}
+
+TEST(C45Missing, AllMissingAttributeIsNeverSplit) {
+  Dataset d({"dead", "sig"}, {"neg", "pos"});
+  util::Rng rng(21);
+  for (int i = 0; i < 30; ++i) {
+    d.add({ml::kMissingValue, 2.0 + rng.next_double()}, 0);
+    d.add({ml::kMissingValue, 8.0 + rng.next_double()}, 1);
+  }
+  ml::C45Tree tree;
+  tree.train(d);
+  for (const std::size_t a : tree.used_attributes()) EXPECT_EQ(a, 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{ml::kMissingValue, 8.5}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{ml::kMissingValue, 2.5}), 0);
+}
+
+TEST(C45Missing, WeightedInstanceEqualsDuplicatedInstance) {
+  // Weight-2 instances must train the same tree as the instance repeated
+  // twice at weight 1 — the weighted sums are identical doubles.
+  util::Rng rng(22);
+  Dataset twice = two_class_schema();
+  Dataset weighted = two_class_schema();
+  for (int i = 0; i < 30; ++i) {
+    const double a = (i % 2 ? 8.0 : 2.0) + rng.next_double();
+    const double b = rng.next_double() * 10;
+    twice.add({a, b}, i % 2);
+    twice.add({a, b}, i % 2);
+    weighted.add({a, b}, i % 2, 2.0);
+  }
+  ml::C45Tree t_twice, t_weighted;
+  t_twice.train(twice);
+  t_weighted.train(weighted);
+  EXPECT_EQ(t_twice.num_nodes(), t_weighted.num_nodes());
+  for (const auto& inst : twice.instances()) {
+    EXPECT_EQ(t_twice.predict(inst.x), t_weighted.predict(inst.x));
+    const auto da = t_twice.distribution(inst.x);
+    const auto db = t_weighted.distribution(inst.x);
+    for (std::size_t c = 0; c < da.size(); ++c)
+      EXPECT_DOUBLE_EQ(da[c], db[c]);
+  }
+}
+
+TEST(C45Missing, SaveLoadRoundTripKeepsMissingValuePredictions) {
+  util::Rng rng(23);
+  Dataset d = separable(40, rng);
+  d.add({ml::kMissingValue, 1.0}, 0);
+  ml::C45Tree tree;
+  tree.train(d);
+  std::stringstream ss;
+  tree.save(ss);
+  const ml::C45Tree loaded = ml::C45Tree::load(ss);
+  const std::vector<double> x = {ml::kMissingValue, 5.0};
+  EXPECT_EQ(loaded.predict(x), tree.predict(x));
+  const auto da = tree.distribution(x);
+  const auto db = loaded.distribution(x);
+  for (std::size_t c = 0; c < da.size(); ++c) EXPECT_DOUBLE_EQ(da[c], db[c]);
+}
+
+TEST(Dataset, TracksMissingAndValidatesWeights) {
+  Dataset d = two_class_schema();
+  d.add({1.0, 2.0}, 0);
+  d.add({ml::kMissingValue, 2.0}, 1);
+  EXPECT_EQ(d.num_incomplete(), 1u);
+  EXPECT_TRUE(ml::is_missing(d.at(1).x[0]));
+  EXPECT_DOUBLE_EQ(d.at(0).weight, 1.0);
+  EXPECT_THROW(d.add({1.0, 1.0}, 0, 0.0), std::exception);
+  EXPECT_THROW(d.add({1.0, 1.0}, 0, -2.0), std::exception);
+}
+
+TEST(Classifier, OnlyC45AdvertisesMissingSupport) {
+  EXPECT_TRUE(ml::C45Tree().handles_missing());
+  EXPECT_FALSE(ml::NaiveBayes().handles_missing());
+  EXPECT_FALSE(ml::KnnClassifier(3).handles_missing());
+  EXPECT_FALSE(ml::ZeroR().handles_missing());
+}
+
 // ---- companion classifiers --------------------------------------------------
 
 template <typename C>

@@ -5,6 +5,9 @@
 //                         [--input=SET] [--opt=-O2] [--threads=8]
 //                         [--slices=25000] [--ground-truth] [--advise]
 //   fsml_analyze sweep    --workload=NAME [--model=fsml.tree]
+//   fsml_analyze robustness [--noise=0,0.05,0.2] [--counters=0,4,2]
+//                         [--drop=0,0.05] [--repeats=5] [--confidence=0.6]
+//                         [--out=robustness.json]
 //   fsml_analyze list
 //   fsml_analyze events
 //
@@ -16,10 +19,12 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "baseline/shadow_detector.hpp"
 #include "core/advisor.hpp"
 #include "core/detector.hpp"
+#include "core/robustness.hpp"
 #include "core/slices.hpp"
 #include "core/training.hpp"
 #include "par/parallel_for.hpp"
@@ -57,6 +62,16 @@ int usage() {
       "            --advise          print mitigation recommendations\n"
       "  sweep     classify every case of one program (Table-5 style)\n"
       "            --workload=NAME --model=FILE --jobs=N\n"
+      "  robustness  accuracy-degradation sweep under emulated PMU faults\n"
+      "            --noise=L      jitter levels, e.g. 0,0.05,0.2 (each in "
+      "[0,1])\n"
+      "            --counters=L   programmable-counter counts, e.g. 0,4,2\n"
+      "                           (0 = no multiplexing, 4 = Westmere)\n"
+      "            --drop=L       event-drop probabilities (each in [0,1])\n"
+      "            --repeats=N    measurements per vote (default 5)\n"
+      "            --confidence=C abstention threshold (default 0.6)\n"
+      "            --seed=N --jobs=N --model=FILE --reduced\n"
+      "            --out=FILE     JSON artifact (default robustness.json)\n"
       "  list      available workloads and mini-programs\n"
       "  events    the modelled Westmere event table (paper Table 2)\n");
   return 2;
@@ -211,6 +226,50 @@ int cmd_sweep(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_robustness(const util::Cli& cli) {
+  core::RobustnessConfig config;
+  config.jitters = cli.get_double_list("noise", config.jitters, 0.0, 1.0);
+  const std::vector<std::int64_t> counters = cli.get_int_list(
+      "counters", {0, 8, 4, 2}, 0,
+      static_cast<std::int64_t>(pmu::kNumWestmereEvents));
+  config.counter_groups.assign(counters.begin(), counters.end());
+  config.drops = cli.get_double_list("drop", config.drops, 0.0, 1.0);
+  config.repeats = static_cast<int>(cli.get_int_in("repeats", 5, 1, 1001));
+  config.min_confidence = cli.get_double_in("confidence", 0.6, 0.0, 1.0);
+  config.seed = static_cast<std::uint64_t>(
+      cli.get_int_in("seed", 42, 0, std::numeric_limits<std::int64_t>::max()));
+  config.jobs = cli_jobs(cli);
+  config.reduced = cli.get_bool("reduced", false);
+
+  const core::FalseSharingDetector detector = load_or_train(cli);
+  const core::RobustnessReport report =
+      core::evaluate_robustness(detector, config, &std::cerr);
+
+  const std::string out = cli.get("out", "robustness.json");
+  std::ofstream os(out);
+  if (!os)
+    throw std::runtime_error("cannot open " + out + " for writing");
+  report.write_json(os);
+
+  std::printf("baseline: %zu/%zu correct\n", report.baseline.correct,
+              report.baseline.runs);
+  util::Table table(
+      {"noise", "counters", "drop", "coverage", "accuracy", "false-pos"});
+  for (const core::RobustnessPoint& p : report.points) {
+    char noise[16], drop[16], coverage[16], accuracy[16];
+    std::snprintf(noise, sizeof noise, "%.2f", p.jitter);
+    std::snprintf(drop, sizeof drop, "%.2f", p.drop);
+    std::snprintf(coverage, sizeof coverage, "%.2f", p.coverage());
+    std::snprintf(accuracy, sizeof accuracy, "%.2f", p.accuracy());
+    table.add_row({noise,
+                   p.counters == 0 ? "all" : std::to_string(p.counters), drop,
+                   coverage, accuracy, std::to_string(p.false_positives)});
+  }
+  table.render(std::cout);
+  std::printf("artifact -> %s\n", out.c_str());
+  return 0;
+}
+
 int cmd_list() {
   std::printf("benchmark workload proxies:\n");
   for (const auto* w : workloads::all_workloads()) {
@@ -252,6 +311,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(cli);
     if (command == "classify") return cmd_classify(cli);
     if (command == "sweep") return cmd_sweep(cli);
+    if (command == "robustness") return cmd_robustness(cli);
     if (command == "list") return cmd_list();
     if (command == "events") return cmd_events();
   } catch (const std::exception& e) {
