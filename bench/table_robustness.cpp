@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "core/robustness.hpp"
+#include "util/atomic_file.hpp"
 #include "pmu/events.hpp"
 
 using namespace fsml;
@@ -65,9 +66,9 @@ int main(int argc, char** argv) {
     table.render(std::cout);
 
     const std::string out = cli.get("out", "robustness.json");
-    std::ofstream os(out);
-    if (!os) throw std::runtime_error("cannot open " + out + " for writing");
-    report.write_json(os);
+    util::AtomicFile artifact(out);  // never leaves a torn JSON behind
+    report.write_json(artifact.stream());
+    artifact.commit();
     std::printf("\nartifact -> %s\n", out.c_str());
     return 0;
   } catch (const std::exception& e) {

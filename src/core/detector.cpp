@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ml/io.hpp"
 #include "util/check.hpp"
 
 namespace fsml::core {
@@ -119,15 +120,23 @@ FalseSharingDetector FalseSharingDetector::load(std::istream& is) {
 }
 
 void FalseSharingDetector::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  FSML_CHECK_MSG(static_cast<bool>(os), "cannot open " + path);
-  save(os);
+  FSML_CHECK_MSG(trained_, "cannot save an untrained detector");
+  // Versioned + checksummed container, written atomically: a crash mid-save
+  // leaves the previous model intact, and a torn or corrupt file is
+  // rejected at load time instead of silently mis-predicting.
+  ml::save_model_file(tree_, path);
 }
 
 FalseSharingDetector FalseSharingDetector::load_file(const std::string& path) {
-  std::ifstream is(path);
-  FSML_CHECK_MSG(static_cast<bool>(is), "cannot open " + path);
-  return load(is);
+  FalseSharingDetector detector;
+  detector.tree_ = ml::load_model_file(path);
+  if (pmu::FeatureVector::feature_names() != detector.tree_.attribute_names())
+    throw std::runtime_error(
+        path + ": model was trained with a different feature schema than "
+               "this build expects — retrain with `fsml_analyze train "
+               "--save-model=" + path + "`");
+  detector.trained_ = true;
+  return detector;
 }
 
 RobustVerdict classify_degraded(const FalseSharingDetector& detector,

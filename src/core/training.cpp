@@ -1,16 +1,22 @@
 #include "core/training.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 
+#include "core/journal.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/stats.hpp"
 #include "util/time_format.hpp"
 
@@ -43,12 +49,14 @@ std::uint64_t run_seed(std::uint64_t base, const std::string& program,
 LabeledInstance run_one(const MiniProgram& program, std::uint64_t size,
                         std::uint32_t threads, Mode mode,
                         AccessPattern pattern, int rep,
-                        const TrainingConfig& config, bool part_a) {
+                        const TrainingConfig& config, bool part_a,
+                        const std::atomic<bool>* cancel = nullptr) {
   TrainerParams params;
   params.mode = mode;
   params.threads = threads;
   params.size = size;
   params.pattern = pattern;
+  params.cancel = cancel;
   params.seed = run_seed(config.seed, std::string(program.name()), size,
                          threads, mode, pattern, rep);
   const trainers::TrainerRun run =
@@ -145,6 +153,92 @@ void enumerate_jobs(const TrainingConfig& config,
   }
 }
 
+/// Stable cell coordinates of a job — the key fault schedules and
+/// quarantine reports use (independent of enumeration order).
+std::string job_key(const CollectJob& job) {
+  return std::string(job.program->name()) + "/" + std::to_string(job.size) +
+         "/" + std::to_string(job.threads) + "/" +
+         std::string(trainers::to_string(job.mode)) + "/" +
+         std::string(trainers::to_string(job.pattern)) + "/" +
+         std::to_string(job.rep);
+}
+
+/// Fingerprint pinning a journal to one exact job grid: a journal written
+/// under a different TrainingConfig must be ignored, never half-applied.
+std::uint64_t config_fingerprint(const TrainingConfig& config,
+                                 std::size_t total_jobs) {
+  util::Crc32 crc;
+  const auto mix_u64 = [&crc](std::uint64_t v) {
+    crc.update(&v, sizeof v);
+  };
+  mix_u64(config.seed);
+  mix_u64(total_jobs);
+  for (const std::uint32_t t : config.thread_counts) mix_u64(t);
+  mix_u64(static_cast<std::uint64_t>(config.reps_good));
+  mix_u64(static_cast<std::uint64_t>(config.reps_bad_fs));
+  mix_u64(static_cast<std::uint64_t>(config.reps_bad_ma));
+  mix_u64(static_cast<std::uint64_t>(config.seq_reps_good));
+  mix_u64(static_cast<std::uint64_t>(config.seq_reps_bad_ma));
+  std::uint64_t gap_bits = 0;
+  static_assert(sizeof gap_bits == sizeof config.significance_gap);
+  std::memcpy(&gap_bits, &config.significance_gap, sizeof gap_bits);
+  mix_u64(gap_bits);
+  mix_u64(config.filter ? 1 : 0);
+  // Spread the 32-bit CRC over 64 bits the same way run_seed does.
+  return util::SplitMix64(crc.value()).next();
+}
+
+// ---- instance row codec ----------------------------------------------------
+//
+// One LabeledInstance <-> one CSV line, shared by the cache file and the
+// collection journal. Doubles print at precision 17, which round-trips
+// value-exactly through parse, so journal-replayed rows re-serialize
+// byte-identically — the foundation of the "resumed cache == uninterrupted
+// cache" guarantee.
+
+std::string format_instance_row(const LabeledInstance& inst) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const double v : inst.features.values()) os << v << ',';
+  os << class_names()[static_cast<std::size_t>(inst.label)] << ','
+     << inst.program << ',' << inst.size << ',' << inst.threads << ','
+     << trainers::to_string(inst.pattern) << ',' << inst.seconds << ','
+     << (inst.part_a ? 'A' : 'B');
+  return os.str();
+}
+
+LabeledInstance parse_instance_row(const std::string& line) {
+  const auto names = class_names();
+  std::istringstream ss(line);
+  std::string field;
+  LabeledInstance inst;
+  for (std::size_t i = 0; i < pmu::kNumFeatures; ++i) {
+    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+    inst.features.set(i, std::stod(field));
+  }
+  FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+  const auto it = std::find(names.begin(), names.end(), field);
+  FSML_CHECK_MSG(it != names.end(), "unknown label in training CSV");
+  inst.label = static_cast<int>(std::distance(names.begin(), it));
+  FSML_CHECK(static_cast<bool>(std::getline(ss, inst.program, ',')));
+  FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+  inst.size = std::stoull(field);
+  FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+  inst.threads = static_cast<std::uint32_t>(std::stoul(field));
+  FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+  if (field == "random")
+    inst.pattern = AccessPattern::kRandom;
+  else if (field == "strided")
+    inst.pattern = AccessPattern::kStrided;
+  else
+    inst.pattern = AccessPattern::kLinear;
+  FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+  inst.seconds = std::stod(field);
+  FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
+  inst.part_a = field == "A";
+  return inst;
+}
+
 // ---- significance filters (paper Table 3) ----------------------------------
 
 /// Part-A filter: census the group, drop its bad-ma instances when they are
@@ -164,7 +258,9 @@ void filter_group_a(std::vector<LabeledInstance> group,
     }
   }
   bool drop_bad_ma = false;
-  if (config.filter && !bad_ma.empty()) {
+  // A group whose good runs were all quarantined has no baseline to filter
+  // against; keep its survivors rather than comparing to nothing.
+  if (config.filter && !bad_ma.empty() && !good.empty()) {
     const double good_med = median_seconds(good);
     const double bad_med = median_seconds(bad_ma);
     drop_bad_ma = bad_med < config.significance_gap * good_med;
@@ -195,7 +291,7 @@ void filter_group_b(std::vector<LabeledInstance> group,
   }
 
   std::vector<AccessPattern> dropped_patterns;
-  if (config.filter) {
+  if (config.filter && !good.empty()) {  // quarantine can empty the baseline
     const double good_med = median_seconds(good);
     for (const auto& [pattern, instances] : bad_ma) {
       if (median_seconds(instances) < config.significance_gap * good_med)
@@ -235,11 +331,30 @@ TrainingConfig TrainingConfig::reduced() {
 
 TrainingData collect_training_data(const TrainingConfig& config,
                                    std::ostream* log) {
+  return collect_training_data(config, log, CollectOptions{}, nullptr);
+}
+
+TrainingData collect_training_data(const TrainingConfig& config,
+                                   std::ostream* log,
+                                   const CollectOptions& options,
+                                   CollectReport* report) {
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<CollectJob> jobs;
   std::vector<JobGroup> groups;
   enumerate_jobs(config, jobs, groups);
+
+  // Durable progress: replay a matching journal (resume) or start fresh.
+  Journal journal;
+  std::map<std::size_t, std::string> replayed;
+  if (!options.journal_path.empty()) {
+    if (!options.resume) std::remove(options.journal_path.c_str());
+    std::string note;
+    replayed = journal.open_and_replay(
+        options.journal_path, config_fingerprint(config, jobs.size()), &note);
+    replayed.erase(replayed.lower_bound(jobs.size()), replayed.end());
+    if (log && options.resume) *log << note << '\n' << std::flush;
+  }
 
   const std::size_t n_jobs =
       config.jobs == 0 ? par::ThreadPool::hardware_workers() : config.jobs;
@@ -247,20 +362,44 @@ TrainingData collect_training_data(const TrainingConfig& config,
   // n_jobs - 1 workers gives exactly n_jobs executing threads; jobs == 1
   // runs everything inline on this thread (the pre-pool behaviour).
   par::ThreadPool pool(n_jobs - 1);
+  par::Supervisor supervisor(pool, options.supervision);
+  fault::FaultInjector inert;
+  fault::FaultInjector* injector =
+      options.injector != nullptr ? options.injector : &inert;
 
   std::mutex log_mutex;
   std::size_t completed = 0;
+  std::atomic<std::size_t> executed{0};
   const std::size_t progress_step = std::max<std::size_t>(jobs.size() / 16, 1);
   if (log)
     *log << "collecting " << jobs.size() << " training runs on " << n_jobs
-         << " job(s)\n"
+         << " job(s)"
+         << (replayed.empty()
+                 ? std::string()
+                 : " (" + std::to_string(replayed.size()) +
+                       " replayed from journal)")
+         << '\n'
          << std::flush;
 
-  std::vector<LabeledInstance> instances = par::parallel_transform(
-      pool, jobs, [&](const CollectJob& job) {
+  auto outcome = supervisor.run(
+      jobs.size(),
+      [&](std::size_t i, par::CancelToken& token, int attempt) {
+        const auto hit = replayed.find(i);
+        if (hit != replayed.end()) return parse_instance_row(hit->second);
+
+        const CollectJob& job = jobs[i];
+        const std::string key = job_key(job);
+        injector->maybe_throw("collect.run", key, attempt);
+        if (injector->should_hang("collect.run", key, attempt))
+          injector->hang(token);  // spins until the deadline cancels us
+
         LabeledInstance inst =
             run_one(*job.program, job.size, job.threads, job.mode,
-                    job.pattern, job.rep, config, job.part_a);
+                    job.pattern, job.rep, config, job.part_a, token.flag());
+        injector->count_completion();  // may raise the injected mid-sweep
+                                       // abort (NonRetryable: sweep stops)
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (journal.is_open()) journal.append(i, format_instance_row(inst));
         if (log) {
           const std::lock_guard<std::mutex> lock(log_mutex);
           ++completed;
@@ -272,19 +411,38 @@ TrainingData collect_training_data(const TrainingConfig& config,
         return inst;
       });
 
+  if (log) {
+    for (const par::JobFailure& f : outcome.failures)
+      *log << "quarantined " << job_key(jobs[f.index]) << " after "
+           << f.attempts << " attempt(s)"
+           << (f.timed_out ? " [deadline]" : "") << ": " << f.error << '\n'
+           << std::flush;
+  }
+
   // Census + significance filtering run serially in enumeration order, so
   // the assembled rows are independent of the execution schedule above.
+  // Quarantined jobs have empty slots and simply drop out of their group.
   TrainingData data;
   for (const JobGroup& group : groups) {
-    std::vector<LabeledInstance> members(
-        std::make_move_iterator(instances.begin() +
-                                static_cast<std::ptrdiff_t>(group.begin)),
-        std::make_move_iterator(instances.begin() +
-                                static_cast<std::ptrdiff_t>(group.end)));
+    std::vector<LabeledInstance> members;
+    members.reserve(group.end - group.begin);
+    for (std::size_t i = group.begin; i < group.end; ++i)
+      if (outcome.results[i].has_value())
+        members.push_back(std::move(*outcome.results[i]));
     if (group.part_a)
       filter_group_a(std::move(members), config, data);
     else
       filter_group_b(std::move(members), config, data);
+  }
+
+  if (report) {
+    report->total_jobs = jobs.size();
+    report->replayed = replayed.size();
+    report->executed = executed.load();
+    report->retried_attempts = outcome.retried_attempts;
+    report->quarantined.clear();
+    for (const par::JobFailure& f : outcome.failures)
+      report->quarantined.push_back({f, job_key(jobs[f.index])});
   }
 
   if (log) {
@@ -292,9 +450,13 @@ TrainingData collect_training_data(const TrainingConfig& config,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     *log << "collection complete: " << data.instances.size()
-         << " instances in " << util::auto_time(elapsed) << " ("
-         << n_jobs << " job(s))\n"
-         << std::flush;
+         << " instances in " << util::auto_time(elapsed) << " (" << n_jobs
+         << " job(s)";
+    if (!outcome.failures.empty())
+      *log << ", " << outcome.failures.size() << " quarantined";
+    if (outcome.retried_attempts > 0)
+      *log << ", " << outcome.retried_attempts << " retried";
+    *log << ")\n" << std::flush;
   }
   return data;
 }
@@ -331,63 +493,56 @@ Census read_census(const std::string& line) {
 }  // namespace
 
 void TrainingData::save_csv(std::ostream& os) const {
-  write_census(os, "A", census_a);
-  write_census(os, "B", census_b);
+  std::ostringstream body;
+  write_census(body, "A", census_a);
+  write_census(body, "B", census_b);
   for (const auto& name : pmu::FeatureVector::feature_names())
-    os << name << ',';
-  os << "label,program,size,threads,pattern,seconds,part\n";
-  os.precision(17);
-  for (const LabeledInstance& inst : instances) {
-    for (const double v : inst.features.values()) os << v << ',';
-    os << class_names()[static_cast<std::size_t>(inst.label)] << ','
-       << inst.program << ',' << inst.size << ',' << inst.threads << ','
-       << trainers::to_string(inst.pattern) << ',' << inst.seconds << ','
-       << (inst.part_a ? 'A' : 'B') << '\n';
-  }
+    body << name << ',';
+  body << "label,program,size,threads,pattern,seconds,part\n";
+  for (const LabeledInstance& inst : instances)
+    body << format_instance_row(inst) << '\n';
+  const std::string bytes = body.str();
+  char crc[16];
+  std::snprintf(crc, sizeof crc, "%08x", util::crc32(bytes));
+  // The footer detects any in-row corruption; the census pins the row
+  // count, so together they catch both flipped bytes and truncation.
+  os << bytes << "# crc32 " << crc << '\n';
 }
 
 TrainingData TrainingData::load_csv(std::istream& is) {
   TrainingData data;
   std::string line;
-  FSML_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
-                 "empty training CSV");
-  data.census_a = read_census(line);
-  FSML_CHECK(static_cast<bool>(std::getline(is, line)));
-  data.census_b = read_census(line);
-  FSML_CHECK(static_cast<bool>(std::getline(is, line)));  // header
-
-  const auto names = class_names();
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream ss(line);
-    std::string field;
-    LabeledInstance inst;
-    for (std::size_t i = 0; i < pmu::kNumFeatures; ++i) {
-      FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-      inst.features.set(i, std::stod(field));
+  util::Crc32 body_crc;
+  bool footer_seen = false;
+  const auto next_line = [&](std::string& out) {
+    if (!std::getline(is, out)) return false;
+    if (out.rfind("# crc32 ", 0) == 0) {
+      unsigned long long stored = 0;
+      FSML_CHECK_MSG(std::sscanf(out.c_str() + 8, "%llx", &stored) == 1,
+                     "malformed CRC footer in training CSV");
+      FSML_CHECK_MSG(body_crc.value() == stored,
+                     "training CSV CRC mismatch: the cache is corrupt");
+      footer_seen = true;
+      return false;
     }
-    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-    const auto it = std::find(names.begin(), names.end(), field);
-    FSML_CHECK_MSG(it != names.end(), "unknown label in training CSV");
-    inst.label = static_cast<int>(std::distance(names.begin(), it));
-    FSML_CHECK(static_cast<bool>(std::getline(ss, inst.program, ',')));
-    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-    inst.size = std::stoull(field);
-    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-    inst.threads = static_cast<std::uint32_t>(std::stoul(field));
-    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-    if (field == "random")
-      inst.pattern = AccessPattern::kRandom;
-    else if (field == "strided")
-      inst.pattern = AccessPattern::kStrided;
-    else
-      inst.pattern = AccessPattern::kLinear;
-    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-    inst.seconds = std::stod(field);
-    FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
-    inst.part_a = field == "A";
-    data.instances.push_back(std::move(inst));
+    body_crc.update(out.data(), out.size());
+    body_crc.update("\n", 1);
+    return true;
+  };
+
+  FSML_CHECK_MSG(next_line(line), "empty training CSV");
+  data.census_a = read_census(line);
+  FSML_CHECK(next_line(line));
+  data.census_b = read_census(line);
+  FSML_CHECK(next_line(line));  // header
+
+  while (next_line(line)) {
+    if (line.empty()) continue;
+    data.instances.push_back(parse_instance_row(line));
   }
+  // Legacy caches (pre-footer) are still accepted: the row-count census
+  // below catches boundary truncation either way.
+  (void)footer_seen;
   // A file truncated at a row boundary parses cleanly but is still missing
   // data; the census header pins the expected row count.
   FSML_CHECK_MSG(data.instances.size() ==
@@ -398,6 +553,13 @@ TrainingData TrainingData::load_csv(std::istream& is) {
 
 TrainingData collect_or_load(const TrainingConfig& config,
                              const std::string& path, std::ostream* log) {
+  return collect_or_load(config, path, log, CollectOptions{}, nullptr);
+}
+
+TrainingData collect_or_load(const TrainingConfig& config,
+                             const std::string& path, std::ostream* log,
+                             const CollectOptions& options,
+                             CollectReport* report) {
   {
     std::ifstream in(path);
     if (in) {
@@ -414,11 +576,18 @@ TrainingData collect_or_load(const TrainingConfig& config,
       }
     }
   }
-  TrainingData data = collect_training_data(config, log);
-  std::ofstream out(path);
-  FSML_CHECK_MSG(static_cast<bool>(out),
-                 "cannot write training cache to " + path);
+  CollectOptions opts = options;
+  if (opts.journal_path.empty()) opts.journal_path = path + ".journal";
+  TrainingData data = collect_training_data(config, log, opts, report);
+
+  std::ostringstream out;
   data.save_csv(out);
+  std::string bytes = out.str();
+  if (options.injector != nullptr)
+    bytes = options.injector->corrupt(std::move(bytes));
+  util::write_file_atomic(path, bytes);
+  // The cache is durable; the journal has served its purpose.
+  std::remove(opts.journal_path.c_str());
   if (log) *log << "training data cached to " << path << '\n';
   return data;
 }

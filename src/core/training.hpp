@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "core/labels.hpp"
+#include "fault/fault.hpp"
 #include "ml/dataset.hpp"
+#include "par/supervisor.hpp"
 #include "pmu/counters.hpp"
 #include "sim/machine_config.hpp"
 #include "trainers/trainer.hpp"
@@ -88,20 +90,71 @@ struct TrainingData {
   static TrainingData load_csv(std::istream& is);
 };
 
+/// Reliability knobs for a collection sweep (all default-inert: the
+/// two-argument collect_training_data overload behaves exactly as before).
+struct CollectOptions {
+  /// Fault-injection schedule for tests/benches; nullptr = no faults.
+  /// Non-const because the abort counter advances as jobs complete.
+  fault::FaultInjector* injector = nullptr;
+  /// Retry / deadline / backoff policy for the par::Supervisor.
+  par::SupervisorConfig supervision;
+  /// Append-only progress journal (one fsync'd record per completed job);
+  /// empty disables journaling. collect_or_load defaults this to
+  /// "<cache>.journal".
+  std::string journal_path;
+  /// Replay a matching journal before running (crash recovery). When false
+  /// any existing journal is discarded and the sweep starts fresh.
+  bool resume = false;
+};
+
+/// One quarantined job: its cell coordinates plus the supervisor record.
+struct QuarantinedCell {
+  par::JobFailure failure;
+  std::string cell;  ///< "program/size/threads/mode/pattern/rep"
+};
+
+/// What a supervised sweep did, for logging, benches, and tests.
+struct CollectReport {
+  std::vector<QuarantinedCell> quarantined;  ///< sorted by job index
+  std::size_t total_jobs = 0;
+  std::size_t replayed = 0;          ///< jobs restored from the journal
+  std::size_t executed = 0;          ///< jobs actually simulated
+  std::size_t retried_attempts = 0;  ///< wasted work (attempts beyond first)
+};
+
 /// Runs the full collection: the (program x mode x threads x size x rep)
 /// job list is enumerated up front and executed on `config.jobs` host
 /// threads (each job builds its own exec::Machine), then rows are filtered
 /// and assembled in job-list order. Progress lines go to `log` if non-null;
 /// writes to `log` are serialized across jobs.
+///
+/// The supervised overload adds crash safety: per-job deadlines with
+/// cooperative cancellation, bounded retries with decorrelated-jitter
+/// backoff, quarantine of persistently failing cells (recorded in `report`
+/// instead of killing the sweep), and an fsync'd journal so an interrupted
+/// sweep resumes by re-running only missing cells. For a fixed fault
+/// schedule the outcome — rows, census, quarantine set — is deterministic,
+/// and with everything default it is bit-identical to the plain overload.
 TrainingData collect_training_data(const TrainingConfig& config,
                                    std::ostream* log = nullptr);
+TrainingData collect_training_data(const TrainingConfig& config,
+                                   std::ostream* log,
+                                   const CollectOptions& options,
+                                   CollectReport* report = nullptr);
 
 /// Loads the cache at `path` if present and well-formed, otherwise collects
-/// and saves it. A truncated or corrupt cache file is rejected and
-/// re-collected (and overwritten) instead of crashing or silently loading
-/// bad data.
+/// and saves it. A truncated or corrupt cache file (row-count census or
+/// CRC32 footer mismatch) is rejected and re-collected (and overwritten)
+/// instead of crashing or silently loading bad data. The cache is written
+/// through util::AtomicFile — an interrupt can never leave a torn artifact
+/// — and the collection journals to "<cache>.journal" (removed once the
+/// cache commits), so `options.resume` continues an interrupted sweep.
 TrainingData collect_or_load(const TrainingConfig& config,
                              const std::string& path,
                              std::ostream* log = nullptr);
+TrainingData collect_or_load(const TrainingConfig& config,
+                             const std::string& path, std::ostream* log,
+                             const CollectOptions& options,
+                             CollectReport* report = nullptr);
 
 }  // namespace fsml::core

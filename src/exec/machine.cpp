@@ -57,7 +57,14 @@ RunResult Machine::run(sim::Cycles max_cycles) {
   RunResult result;
   sim::RawCounters last_snapshot;
   sim::Cycles next_boundary = slice_cycles_;
+  std::uint32_t cancel_poll = 0;
   for (;;) {
+    // Cooperative cancellation: poll the flag every 4096 scheduler steps —
+    // often enough to honour a deadline promptly, rare enough to stay off
+    // the hot path.
+    if (cancel_flag_ != nullptr && (++cancel_poll & 0xFFFu) == 0 &&
+        cancel_flag_->load(std::memory_order_relaxed))
+      throw Cancelled();
     ThreadState* next = nullptr;
     for (auto& t : threads_) {
       if (t->done) continue;

@@ -23,9 +23,11 @@
 // and keep host-side state in scope.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "exec/arena.hpp"
@@ -35,6 +37,14 @@
 #include "util/rng.hpp"
 
 namespace fsml::exec {
+
+/// Thrown by Machine::run() when a cancellation flag set via
+/// set_cancel_flag() fires mid-simulation (cooperative cancellation; see
+/// par::Supervisor's per-job deadlines).
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("simulation cancelled") {}
+};
 
 class Machine;
 
@@ -193,6 +203,12 @@ class Machine {
     return static_cast<std::uint32_t>(threads_.size());
   }
 
+  /// Cooperative cancellation: the scheduler inner loop polls `flag` every
+  /// few thousand steps and unwinds run() with exec::Cancelled once it goes
+  /// true. The flag must outlive run(); nullptr (default) disables polling.
+  /// This is how par::Supervisor deadlines reach a running simulation.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
   /// Runs all spawned threads to completion. One-shot.
   /// Throws if any core exceeds `max_cycles` (deadlock guard) or a kernel
   /// throws.
@@ -219,6 +235,7 @@ class Machine {
   ThreadState* running_ = nullptr;
   bool ran_ = false;
   sim::Cycles slice_cycles_ = 0;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
 };
 
 }  // namespace fsml::exec

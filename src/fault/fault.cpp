@@ -1,0 +1,82 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace fsml::fault {
+
+namespace {
+
+std::uint64_t mix_key(std::uint64_t seed, std::string_view site,
+                      std::string_view key, std::uint64_t salt) {
+  // FNV-1a over (site, key), folded with seed and salt, then SplitMix64 —
+  // the same keyed-hash idiom core::training uses for per-run seeds.
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+  for (const char c : site) mix(static_cast<std::uint64_t>(c));
+  mix(0xFFu);  // separator: ("ab","c") must differ from ("a","bc")
+  for (const char c : key) mix(static_cast<std::uint64_t>(c));
+  mix(salt);
+  return util::SplitMix64(h).next();
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+double FaultInjector::draw(std::string_view site, std::string_view key,
+                           std::uint64_t salt) const {
+  return static_cast<double>(mix_key(plan_.seed, site, key, salt) >> 11) *
+         0x1.0p-53;
+}
+
+void FaultInjector::maybe_throw(std::string_view site, std::string_view key,
+                                int attempt) const {
+  if (plan_.throw_rate <= 0.0) return;
+  if (attempt > plan_.throw_attempts) return;  // transient: retries succeed
+  if (draw(site, key, /*salt=*/1) < plan_.throw_rate)
+    throw InjectedFault("injected fault at " + std::string(site) + " [" +
+                        std::string(key) + "] attempt " +
+                        std::to_string(attempt));
+}
+
+bool FaultInjector::should_hang(std::string_view site, std::string_view key,
+                                int attempt) const {
+  if (std::find(plan_.hang_keys.begin(), plan_.hang_keys.end(), key) !=
+      plan_.hang_keys.end())
+    return true;  // persistent: every attempt overruns
+  if (plan_.hang_rate <= 0.0 || attempt > 1) return false;
+  return draw(site, key, /*salt=*/2) < plan_.hang_rate;
+}
+
+void FaultInjector::hang(const par::CancelToken& token) const {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!token.cancelled()) {
+    if (std::chrono::steady_clock::now() >= give_up) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  throw par::CancelledError();
+}
+
+void FaultInjector::count_completion() {
+  if (plan_.abort_after == 0) return;
+  if (completions_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+      plan_.abort_after)
+    throw InjectedAbort("injected abort after " +
+                        std::to_string(plan_.abort_after) +
+                        " completed jobs");
+}
+
+std::string FaultInjector::corrupt(std::string bytes) const {
+  if (!plan_.corrupt_artifacts || bytes.empty()) return bytes;
+  const std::size_t pos = mix_key(plan_.seed, "corrupt", "", bytes.size()) %
+                          bytes.size();
+  bytes[pos] = static_cast<char>(bytes[pos] ^ 0x20);
+  return bytes;
+}
+
+}  // namespace fsml::fault

@@ -1,0 +1,113 @@
+// fsml::fault — deterministic fault injection for the collection pipeline.
+//
+// A FaultPlan is a *schedule*, not a dice roll at runtime: every decision is
+// a pure function of (plan seed, site, job key, attempt), so two sweeps with
+// the same plan fail in exactly the same places regardless of host thread
+// count or scheduling. That is what lets the tests pin hard properties like
+// "the resumed cache is bit-identical to the uninterrupted run" and "the
+// quarantine set is exactly these cells".
+//
+// Fault kinds, by site in the collection path:
+//  * throws   — `collect.run` raises InjectedFault before the simulation;
+//               transient (the first `throw_attempts` attempts fail, the
+//               retry succeeds), so they exercise the Supervisor's backoff;
+//  * hangs    — the job spins cooperatively until its CancelToken fires
+//               (deadline overrun). Keys listed in `hang_keys` hang on every
+//               attempt and therefore end up quarantined;
+//  * aborts   — `count_completion()` raises InjectedAbort (NonRetryable)
+//               after `abort_after` completed jobs: an in-process stand-in
+//               for `kill -9` mid-sweep, used by the crash/resume tests and
+//               the CI smoke;
+//  * corruption — `corrupt()` flips one byte of an artifact about to be
+//               written, exercising CRC rejection on the read side.
+//
+// The default FaultPlan is inert: plan().any() == false and every hook is a
+// no-op, so production code paths can hold an injector unconditionally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "par/supervisor.hpp"
+
+namespace fsml::fault {
+
+/// A transient injected failure: retryable, quarantinable.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// An injected crash: NonRetryable, stops the sweep like a kill would.
+class InjectedAbort : public std::runtime_error, public par::NonRetryable {
+ public:
+  explicit InjectedAbort(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Probability that a (site, key) draws a transient throw.
+  double throw_rate = 0.0;
+  /// Leading attempts that fail for keys which drew a throw; retries past
+  /// this count succeed. max_attempts <= throw_attempts quarantines them.
+  int throw_attempts = 1;
+  /// Probability that a (site, key) draws a transient hang (first attempt
+  /// only — the retry runs clean).
+  double hang_rate = 0.0;
+  /// Keys that hang on *every* attempt: guaranteed quarantine.
+  std::vector<std::string> hang_keys;
+  /// Completed jobs before count_completion() raises InjectedAbort;
+  /// 0 disables.
+  std::uint64_t abort_after = 0;
+  /// Flip one byte of artifacts passed through corrupt().
+  bool corrupt_artifacts = false;
+
+  bool any() const {
+    return throw_rate > 0.0 || hang_rate > 0.0 || !hang_keys.empty() ||
+           abort_after > 0 || corrupt_artifacts;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;  ///< inert
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Raises InjectedFault when (site, key) drew a throw and this attempt is
+  /// still within the failing prefix.
+  void maybe_throw(std::string_view site, std::string_view key,
+                   int attempt) const;
+
+  /// True when this attempt must overrun its deadline.
+  bool should_hang(std::string_view site, std::string_view key,
+                   int attempt) const;
+
+  /// Cooperative hang: sleeps until `token` is cancelled (with a 30 s
+  /// safety cap so a missing watchdog cannot wedge a test run), then
+  /// unwinds with CancelledError.
+  [[noreturn]] void hang(const par::CancelToken& token) const;
+
+  /// Counts one completed job; raises InjectedAbort on the abort_after'th.
+  void count_completion();
+
+  /// Deterministically flips one byte when corrupt_artifacts is set.
+  std::string corrupt(std::string bytes) const;
+
+ private:
+  /// Uniform [0, 1) draw, pure in (seed, site, key, salt).
+  double draw(std::string_view site, std::string_view key,
+              std::uint64_t salt) const;
+
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> completions_{0};
+};
+
+}  // namespace fsml::fault

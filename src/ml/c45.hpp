@@ -69,9 +69,17 @@ class C45Tree final : public Classifier {
   /// model uses only 4 of the 15 features).
   std::vector<std::size_t> used_attributes() const;
 
-  /// Serialization: a small line-oriented text format.
+  /// Serialization: a small line-oriented text format. This is the *raw*
+  /// payload; durable model files wrap it in the versioned, checksummed
+  /// container of ml/io.hpp (save_model/load_model).
   void save(std::ostream& os) const;
   static C45Tree load(std::istream& is, C45Params params = {});
+
+  /// Training schema (set by train() or load()); empty before either.
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
 
   struct Node;  // exposed for white-box tests
 

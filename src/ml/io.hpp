@@ -1,11 +1,31 @@
-// Dataset serialization: CSV (read/write) and ARFF (write) — ARFF being
-// Weka's native format, so collected training data can be loaded into the
-// actual Weka J48 for an external cross-check.
+// Dataset and model serialization.
+//
+// Datasets: CSV (read/write) and ARFF (write) — ARFF being Weka's native
+// format, so collected training data can be loaded into the actual Weka J48
+// for an external cross-check.
+//
+// Models: a versioned, integrity-checked container around C45Tree's raw
+// text payload, so a trained tree survives process restarts and a corrupt
+// or mismatched file is rejected with an actionable error instead of
+// silently mis-predicting:
+//
+//   fsml-model v<format-version>
+//   schema <16-hex FNV hash of attribute + class names>
+//   payload <byte count>
+//   <payload: the fsml-c45 v1 text stream>
+//   crc32 <8-hex CRC of the payload bytes>
+//
+// load_model verifies, in order: magic, version (newer-than-build files are
+// rejected, not guessed at), payload framing, CRC, and that the embedded
+// schema hash matches the payload's actual attribute/class names. A loaded
+// tree predicts bit-identically to the tree that was saved.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "ml/c45.hpp"
 #include "ml/dataset.hpp"
 
 namespace fsml::ml {
@@ -21,5 +41,29 @@ Dataset read_csv(std::istream& is, const std::vector<std::string>& class_names);
 /// Weka ARFF with numeric attributes and a nominal class.
 void write_arff(const Dataset& data, const std::string& relation,
                 std::ostream& os);
+
+// ---- versioned model persistence -------------------------------------------
+
+/// Current model container format version.
+inline constexpr std::uint32_t kModelFormatVersion = 2;
+
+/// Order-sensitive FNV-1a hash over attribute names then class names — the
+/// feature-schema fingerprint embedded in model files.
+std::uint64_t schema_hash(const std::vector<std::string>& attributes,
+                          const std::vector<std::string>& classes);
+
+/// Writes the versioned, checksummed model container.
+void save_model(const C45Tree& tree, std::ostream& os);
+
+/// Reads a model container, verifying magic, version, framing, CRC, and
+/// schema hash. Throws std::runtime_error with an actionable message on any
+/// mismatch. Also accepts a bare legacy "fsml-c45 v1" stream (pre-container
+/// files) so existing models keep loading.
+C45Tree load_model(std::istream& is, C45Params params = {});
+
+/// File variants. save_model_file writes atomically (util::AtomicFile):
+/// a crash mid-save leaves the previous model intact.
+void save_model_file(const C45Tree& tree, const std::string& path);
+C45Tree load_model_file(const std::string& path, C45Params params = {});
 
 }  // namespace fsml::ml

@@ -7,10 +7,11 @@
 // results as long as fn(i) itself is independent of execution order.
 //
 // Exceptions: every index runs to completion even after a failure (no
-// cancellation — it would make *which* exception surfaces a race), then the
-// exception thrown by the lowest failing index is rethrown. "First" is
-// defined by the input ordering, not by wall-clock, so error reporting is
-// deterministic too.
+// cancellation — it would make *which* exception surfaces a race). A single
+// failing index rethrows its original exception; multiple failures
+// aggregate into one ParallelError naming the failure count and the first
+// three failing indices. "First" is defined by the input ordering, not by
+// wall-clock, so error reporting is deterministic either way.
 #pragma once
 
 #include <algorithm>
@@ -18,9 +19,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -29,10 +34,72 @@
 
 namespace fsml::par {
 
+/// Aggregated failure of a multi-failure parallel_for: the message carries
+/// the failure count and the lowest three failing indices with their
+/// original what() strings, so multi-failure sweeps are diagnosable from
+/// one exception.
+class ParallelError : public std::runtime_error {
+ public:
+  ParallelError(std::size_t failed, std::size_t total, const std::string& msg)
+      : std::runtime_error(msg), failed_(failed), total_(total) {}
+
+  std::size_t failed_count() const { return failed_; }
+  std::size_t total_count() const { return total_; }
+
+ private:
+  std::size_t failed_;
+  std::size_t total_;
+};
+
 namespace detail {
 
+/// How many failing indices an aggregated error message names.
+inline constexpr std::size_t kReportedFailures = 3;
+
+/// Deterministic failure aggregation shared by the serial and pooled paths:
+/// keeps the total failure count, the what() of the lowest kReportedFailures
+/// indices, and the original exception of the lowest index (rethrown
+/// unwrapped when it is the only failure).
+struct ErrorLog {
+  std::size_t failed = 0;
+  std::map<std::size_t, std::string> first_sites;  // lowest indices only
+  std::exception_ptr lowest;
+  std::size_t lowest_index = 0;
+
+  void record(std::exception_ptr e, std::size_t index) {
+    ++failed;
+    if (!lowest || index < lowest_index) {
+      lowest = e;
+      lowest_index = index;
+    }
+    std::string what = "unknown error";
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      what = ex.what();
+    } catch (...) {
+    }
+    first_sites.emplace(index, std::move(what));
+    if (first_sites.size() > kReportedFailures)
+      first_sites.erase(std::prev(first_sites.end()));
+  }
+
+  /// Rethrows (single failure) or throws the aggregate (several); no-op
+  /// when nothing failed.
+  void raise(std::size_t total) const {
+    if (failed == 0) return;
+    if (failed == 1) std::rethrow_exception(lowest);
+    std::ostringstream os;
+    os << failed << " of " << total
+       << " parallel jobs failed; first failures:";
+    for (const auto& [index, what] : first_sites)
+      os << " [" << index << "] " << what << ';';
+    throw ParallelError(failed, total, os.str());
+  }
+};
+
 /// Shared bookkeeping for one parallel_for: chunk dispenser + completion
-/// latch + deterministic first-error slot.
+/// latch + deterministic failure log.
 struct ForState {
   std::atomic<std::size_t> next_chunk{0};
   std::size_t num_chunks = 0;
@@ -42,15 +109,11 @@ struct ForState {
   std::mutex mutex;
   std::condition_variable done_cv;
   std::size_t completed_chunks = 0;        // guarded by mutex
-  std::exception_ptr error;                // guarded by mutex
-  std::size_t error_index = 0;             // guarded by mutex
+  ErrorLog errors;                         // guarded by mutex
 
   void record_error(std::exception_ptr e, std::size_t index) {
     std::lock_guard<std::mutex> lock(mutex);
-    if (!error || index < error_index) {
-      error = std::move(e);
-      error_index = index;
-    }
+    errors.record(std::move(e), index);
   }
 };
 
@@ -92,15 +155,15 @@ void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
   // Serial paths: no workers, single chunk, or we *are* a worker (nested
   // parallel_for must not wait on a queue only we could drain).
   if (pool.worker_count() == 0 || n <= grain || pool.on_worker_thread()) {
-    std::exception_ptr error;  // serial order: first caught == lowest index
+    detail::ErrorLog errors;
     for (std::size_t i = 0; i < n; ++i) {
       try {
         fn(i);
       } catch (...) {
-        if (!error) error = std::current_exception();
+        errors.record(std::current_exception(), i);
       }
     }
-    if (error) std::rethrow_exception(error);
+    errors.raise(n);
     return;
   }
 
@@ -122,7 +185,7 @@ void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
   state->done_cv.wait(lock, [&state] {
     return state->completed_chunks == state->num_chunks;
   });
-  if (state->error) std::rethrow_exception(state->error);
+  state->errors.raise(n);
 }
 
 /// Maps `fn` over `items`, returning results in input order. Exception

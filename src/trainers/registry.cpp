@@ -83,6 +83,7 @@ TrainerRun run_trainer(const MiniProgram& program, const TrainerParams& params,
   sim::MachineConfig config = base_config;
   config.num_cores = params.threads;
   exec::Machine machine(config, params.seed);
+  machine.set_cancel_flag(params.cancel);
   program.build(machine, params);
   FSML_CHECK(machine.num_threads() == params.threads);
 

@@ -14,6 +14,7 @@
 // build-run-snapshot cycle.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -52,6 +53,10 @@ struct TrainerParams {
   AccessPattern pattern = AccessPattern::kStrided;  ///< used in bad-ma mode
   std::uint64_t stride = 16;      ///< elements, for kStrided
   std::uint64_t seed = 1;
+  /// Cooperative cancellation flag wired into Machine::set_cancel_flag()
+  /// (per-job deadlines under par::Supervisor). Must outlive the run;
+  /// nullptr disables polling.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class MiniProgram {

@@ -1,0 +1,88 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace fsml::util {
+
+namespace {
+
+[[noreturn]] void io_error(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Directory containing `path` ("." for bare filenames).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())) {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) std::remove(temp_path_.c_str());
+}
+
+void AtomicFile::commit() {
+  if (committed_)
+    throw std::runtime_error("AtomicFile::commit() is one-shot: " + path_);
+  const std::string data = buffer_.str();
+
+  const int fd = ::open(temp_path_.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) io_error("cannot create", temp_path_);
+
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(temp_path_.c_str());
+      io_error("cannot write", temp_path_);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(temp_path_.c_str());
+    io_error("cannot fsync", temp_path_);
+  }
+  if (::close(fd) != 0) {
+    std::remove(temp_path_.c_str());
+    io_error("cannot close", temp_path_);
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    io_error("cannot rename into", path_);
+  }
+  fsync_dir(parent_dir(path_));
+  committed_ = true;
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  AtomicFile file(path);
+  file.stream() << contents;
+  file.commit();
+}
+
+}  // namespace fsml::util

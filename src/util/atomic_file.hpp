@@ -1,0 +1,55 @@
+// AtomicFile: crash-safe whole-file replacement (temp + fsync + rename).
+//
+// Every durable fsml artifact — training cache, robustness JSON, model
+// files — goes through this class so an interrupt at any instant leaves
+// either the complete old file or the complete new file on disk, never a
+// torn prefix:
+//
+//   util::AtomicFile file("results.csv");
+//   file.stream() << ...;      // buffered in memory
+//   file.commit();             // write temp, fsync, rename over the target
+//
+// commit() writes the buffered bytes to `<path>.tmp.<pid>`, fsyncs the file,
+// renames it over the target (atomic on POSIX), and fsyncs the containing
+// directory so the rename itself is durable. A destructor without commit()
+// (e.g. an exception while formatting) removes the temp file and leaves any
+// existing target untouched.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fsml::util {
+
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();  ///< removes the temp file when commit() was never reached
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The in-memory buffer being composed; written durably by commit().
+  std::ostream& stream() { return buffer_; }
+
+  /// Bytes buffered so far (what commit() would publish).
+  std::string contents() const { return buffer_.str(); }
+
+  /// Durably publishes the buffer at `path`. Throws std::runtime_error on
+  /// any I/O failure, leaving the previous target file intact. One-shot.
+  void commit();
+
+  const std::string& path() const { return path_; }
+  bool committed() const { return committed_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// Convenience: atomically writes `contents` at `path`.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace fsml::util

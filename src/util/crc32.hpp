@@ -1,0 +1,61 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check used by every durable fsml artifact: training-cache footers,
+// collection-journal records, and model-file trailers. Incremental so
+// streaming writers can fold bytes in as they go.
+//
+// Known-answer: crc32("123456789") == 0xCBF43926.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fsml::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    const auto& table = detail::crc32_table();
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < n; ++i)
+      c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    state_ = c;
+  }
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalized checksum; the accumulator stays usable for more update()s.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(std::string_view s) {
+  Crc32 c;
+  c.update(s);
+  return c.value();
+}
+
+}  // namespace fsml::util

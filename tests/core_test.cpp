@@ -93,13 +93,40 @@ TEST(Training, LoadCsvRejectsGarbage) {
 
 TEST(Training, LoadCsvRejectsRowBoundaryTruncation) {
   // A cache cut at a row boundary parses line-by-line; the census header
-  // must still expose the missing rows.
+  // must still expose the missing rows. Drop the CRC footer too — a
+  // truncated legacy cache (no footer) must be rejected by the census
+  // alone.
   std::stringstream full;
   reduced_data().save_csv(full);
   std::string text = full.str();
+  text.erase(text.rfind('\n', text.size() - 2) + 1);  // drop the footer
   text.erase(text.rfind('\n', text.size() - 2) + 1);  // drop the last row
   std::stringstream truncated(text);
   EXPECT_THROW(core::TrainingData::load_csv(truncated), std::exception);
+}
+
+TEST(Training, LoadCsvRejectsFlippedByte) {
+  // In-row corruption keeps the row count intact; only the CRC32 footer
+  // can catch it.
+  std::stringstream full;
+  reduced_data().save_csv(full);
+  std::string text = full.str();
+  const std::size_t pos = text.find(",A\n");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 1] = 'B';  // flip one byte inside a row
+  std::stringstream corrupt(text);
+  EXPECT_THROW(core::TrainingData::load_csv(corrupt), std::exception);
+}
+
+TEST(Training, SaveCsvRoundTripsThroughFooter) {
+  const core::TrainingData data = reduced_data();
+  std::stringstream ss;
+  data.save_csv(ss);
+  const core::TrainingData back = core::TrainingData::load_csv(ss);
+  ASSERT_EQ(back.instances.size(), data.instances.size());
+  std::stringstream again;
+  back.save_csv(again);
+  EXPECT_EQ(ss.str(), again.str());  // byte-identical re-serialization
 }
 
 // ---- collect_or_load cache behaviour --------------------------------------

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "ml/c45.hpp"
 #include "ml/eval.hpp"
@@ -520,6 +522,121 @@ TEST(Io, CsvRejectsMalformedRows) {
 TEST(Io, CsvRejectsUnknownClass) {
   std::stringstream ss("a,b,class\n1.0,2.0,zebra\n");
   EXPECT_THROW(ml::read_csv(ss, {"neg", "pos"}), std::exception);
+}
+
+// ---- versioned model container ---------------------------------------------
+
+ml::C45Tree trained_tree() {
+  util::Rng rng(21);
+  ml::C45Tree tree;
+  tree.train(three_class(40, rng));
+  return tree;
+}
+
+TEST(ModelIo, RoundTripIsBitIdentical) {
+  util::Rng rng(21);
+  const Dataset d = three_class(40, rng);
+  const ml::C45Tree tree = trained_tree();
+  std::stringstream ss;
+  ml::save_model(tree, ss);
+  const ml::C45Tree loaded = ml::load_model(ss);
+  for (const auto& inst : d.instances())
+    EXPECT_EQ(loaded.predict(inst.x), tree.predict(inst.x));
+  // Re-serializing the loaded tree reproduces the file byte for byte.
+  std::stringstream again;
+  ml::save_model(loaded, again);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(ModelIo, ContainerCarriesVersionSchemaAndCrc) {
+  std::stringstream ss;
+  ml::save_model(trained_tree(), ss);
+  const std::string text = ss.str();
+  EXPECT_EQ(text.rfind("fsml-model v2\n", 0), 0u);
+  EXPECT_NE(text.find("\nschema "), std::string::npos);
+  EXPECT_NE(text.find("\npayload "), std::string::npos);
+  EXPECT_NE(text.find("crc32 "), std::string::npos);
+}
+
+TEST(ModelIo, RejectsFlippedPayloadByte) {
+  std::stringstream ss;
+  ml::save_model(trained_tree(), ss);
+  std::string text = ss.str();
+  const std::size_t pos = text.find("fsml-c45");  // inside the payload
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'F';
+  std::stringstream corrupt(text);
+  try {
+    ml::load_model(corrupt);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("retrain"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, RejectsTruncatedPayload) {
+  std::stringstream ss;
+  ml::save_model(trained_tree(), ss);
+  const std::string text = ss.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  try {
+    ml::load_model(truncated);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, RejectsUnsupportedFormatVersion) {
+  std::stringstream ss;
+  ml::save_model(trained_tree(), ss);
+  std::string text = ss.str();
+  text.replace(text.find(" v2\n"), 4, " v9\n");
+  std::stringstream wrong(text);
+  try {
+    ml::load_model(wrong);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("v9"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("not supported"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, RejectsForeignMagic) {
+  std::stringstream ss("definitely-not-a-model\n");
+  EXPECT_THROW(ml::load_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, LegacyBarePayloadStillLoads) {
+  util::Rng rng(21);
+  const Dataset d = three_class(40, rng);
+  const ml::C45Tree tree = trained_tree();
+  std::stringstream legacy;
+  tree.save(legacy);  // pre-container format
+  const ml::C45Tree loaded = ml::load_model(legacy);
+  for (const auto& inst : d.instances())
+    EXPECT_EQ(loaded.predict(inst.x), tree.predict(inst.x));
+}
+
+TEST(ModelIo, FileRoundTripThroughAtomicWrite) {
+  const std::string path = ::testing::TempDir() + "fsml_model_io_test.model";
+  std::remove(path.c_str());
+  const ml::C45Tree tree = trained_tree();
+  ml::save_model_file(tree, path);
+  const ml::C45Tree loaded = ml::load_model_file(path);
+  EXPECT_EQ(loaded.num_nodes(), tree.num_nodes());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileErrorSaysHowToTrain) {
+  try {
+    ml::load_model_file(::testing::TempDir() + "fsml_no_such.model");
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fsml_analyze train"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -114,19 +114,38 @@ TEST(ParallelTransform, ResultsIdenticalForAnyPoolSize) {
   EXPECT_EQ(b, c);
 }
 
-TEST(ParallelFor, PropagatesLowestIndexException) {
+TEST(ParallelFor, SingleFailurePropagatesOriginalException) {
   par::ThreadPool pool(4);
-  // Several indices fail; the rethrown exception must deterministically be
-  // the lowest failing index regardless of which one failed first in time.
+  // Exactly one index fails: the original exception surfaces unwrapped,
+  // with its type and message intact.
+  try {
+    par::parallel_for(pool, 200, [](std::size_t i) {
+      if (i == 37) throw std::invalid_argument("failed at 37");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "failed at 37");
+  }
+}
+
+TEST(ParallelFor, MultipleFailuresAggregateDeterministically) {
+  par::ThreadPool pool(4);
+  // Several indices fail; the aggregate names the failure count and the
+  // lowest failing indices regardless of which one failed first in time.
   for (int round = 0; round < 5; ++round) {
     try {
       par::parallel_for(pool, 200, [](std::size_t i) {
-        if (i == 37 || i == 73 || i == 150)
+        if (i == 37 || i == 73 || i == 150 || i == 151)
           throw std::runtime_error("failed at " + std::to_string(i));
       });
       FAIL() << "expected an exception";
-    } catch (const std::runtime_error& e) {
-      EXPECT_STREQ(e.what(), "failed at 37");
+    } catch (const par::ParallelError& e) {
+      EXPECT_EQ(e.failed_count(), 4u);
+      EXPECT_EQ(e.total_count(), 200u);
+      EXPECT_STREQ(e.what(),
+                   "4 of 200 parallel jobs failed; first failures:"
+                   " [37] failed at 37; [73] failed at 73;"
+                   " [150] failed at 150;");
     }
   }
 }

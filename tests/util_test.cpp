@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -261,6 +266,85 @@ TEST(Check, MacrosThrowWithContext) {
   } catch (const util::CheckFailure& e) {
     EXPECT_NE(std::string(e.what()).find("extra detail"), std::string::npos);
   }
+}
+
+// ---- crc32 -----------------------------------------------------------------
+
+TEST(Crc32, KnownAnswer) {
+  // The CRC-32/IEEE check value from the catalogue of CRC algorithms.
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(util::crc32(""), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  util::Crc32 crc;
+  crc.update("123", 3);
+  crc.update("456789", 6);
+  EXPECT_EQ(crc.value(), util::crc32("123456789"));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string a(64, 'q');
+  std::string b = a;
+  b[17] = static_cast<char>(b[17] ^ 0x01);
+  EXPECT_NE(util::crc32(a), util::crc32(b));
+}
+
+// ---- atomic file -----------------------------------------------------------
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  AtomicFileTest() : path_(::testing::TempDir() + "fsml_atomic_test.txt") {
+    std::remove(path_.c_str());
+  }
+  ~AtomicFileTest() override { std::remove(path_.c_str()); }
+
+  std::string slurp() const {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesContents) {
+  util::AtomicFile file(path_);
+  file.stream() << "hello " << 42 << '\n';
+  file.commit();
+  EXPECT_EQ(slurp(), "hello 42\n");
+}
+
+TEST_F(AtomicFileTest, UncommittedWriteLeavesNoFile) {
+  {
+    util::AtomicFile file(path_);
+    file.stream() << "never published";
+  }  // destroyed without commit: temp removed, target untouched
+  EXPECT_FALSE(static_cast<bool>(std::ifstream(path_)));
+}
+
+TEST_F(AtomicFileTest, CommitReplacesExistingFile) {
+  util::write_file_atomic(path_, "old contents");
+  util::write_file_atomic(path_, "new contents");
+  EXPECT_EQ(slurp(), "new contents");
+}
+
+TEST_F(AtomicFileTest, AbandonedWriteKeepsPreviousContents) {
+  util::write_file_atomic(path_, "stable");
+  {
+    util::AtomicFile file(path_);
+    file.stream() << "half-written replacement";
+  }
+  EXPECT_EQ(slurp(), "stable");
+}
+
+TEST_F(AtomicFileTest, DoubleCommitThrows) {
+  util::AtomicFile file(path_);
+  file.stream() << "x";
+  file.commit();
+  EXPECT_THROW(file.commit(), std::exception);
 }
 
 }  // namespace

@@ -27,10 +27,12 @@
 #include "core/robustness.hpp"
 #include "core/slices.hpp"
 #include "core/training.hpp"
+#include "fault/fault.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
 #include "pmu/events.hpp"
 #include "trainers/trainer.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/time_format.hpp"
@@ -48,20 +50,31 @@ int usage() {
       "  train     collect mini-program training data and fit the J48 model\n"
       "            --cache=FILE (training data cache, default "
       "fsml_training_cache.csv)\n"
-      "            --out=FILE   (model file, default fsml.tree)\n"
+      "            --save-model=FILE (model file, default fsml.tree;\n"
+      "                          --out is an alias)\n"
+      "            --load-model=FILE (load + verify an existing model file\n"
+      "                          instead of training; corrupt or mismatched\n"
+      "                          files are rejected with exit 1)\n"
+      "            --resume     (continue an interrupted collection from\n"
+      "                          CACHE.journal instead of starting over)\n"
+      "            --retries=N  (attempts per collection job, default 3)\n"
       "            --reduced    (small grid, ~3 s instead of ~20 s)\n"
       "            --jobs=N     (host threads for collection; default = all\n"
       "                          hardware threads, 1 = serial; any N yields\n"
       "                          bit-identical training data)\n"
+      "            --inject-abort-after=N --fault-rate=R --fault-seed=N\n"
+      "                         (deterministic fault injection: crash after\n"
+      "                          N completed jobs / transient throw rate R;\n"
+      "                          used by the CI crash-resume smoke test)\n"
       "  classify  classify one case of a benchmark proxy\n"
       "            --workload=NAME --input=SET --opt=-O2 --threads=8\n"
-      "            --model=FILE --seed=N\n"
+      "            --model=FILE --load-model=FILE --seed=N\n"
       "            --slices=CYCLES   add a phase timeline\n"
       "            --ground-truth    run the shadow detector too (<=8 "
       "threads)\n"
       "            --advise          print mitigation recommendations\n"
       "  sweep     classify every case of one program (Table-5 style)\n"
-      "            --workload=NAME --model=FILE --jobs=N\n"
+      "            --workload=NAME --model=FILE --load-model=FILE --jobs=N\n"
       "  robustness  accuracy-degradation sweep under emulated PMU faults\n"
       "            --noise=L      jitter levels, e.g. 0,0.05,0.2 (each in "
       "[0,1])\n"
@@ -70,7 +83,8 @@ int usage() {
       "            --drop=L       event-drop probabilities (each in [0,1])\n"
       "            --repeats=N    measurements per vote (default 5)\n"
       "            --confidence=C abstention threshold (default 0.6)\n"
-      "            --seed=N --jobs=N --model=FILE --reduced\n"
+      "            --seed=N --jobs=N --model=FILE --load-model=FILE "
+      "--reduced\n"
       "            --out=FILE     JSON artifact (default robustness.json)\n"
       "  list      available workloads and mini-programs\n"
       "  events    the modelled Westmere event table (paper Table 2)\n");
@@ -87,13 +101,18 @@ std::size_t cli_jobs(const util::Cli& cli) {
 }
 
 core::FalseSharingDetector load_or_train(const util::Cli& cli) {
+  // --load-model is strict: a missing, corrupt, or schema-mismatched file
+  // is a hard error (exit 1 via main's catch), never silently retrained
+  // around — the operator asked for *that* model.
+  const std::string strict = cli.get("load-model", "");
+  if (!strict.empty()) {
+    std::fprintf(stderr, "loading model %s\n", strict.c_str());
+    return core::FalseSharingDetector::load_file(strict);
+  }
   const std::string model_path = cli.get("model", "fsml.tree");
-  {
-    std::ifstream in(model_path);
-    if (in) {
-      std::fprintf(stderr, "loading model %s\n", model_path.c_str());
-      return core::FalseSharingDetector::load(in);
-    }
+  if (static_cast<bool>(std::ifstream(model_path))) {
+    std::fprintf(stderr, "loading model %s\n", model_path.c_str());
+    return core::FalseSharingDetector::load_file(model_path);
   }
   std::fprintf(stderr, "no model at %s — training (use `fsml_analyze train` "
                        "to persist one)\n",
@@ -106,16 +125,48 @@ core::FalseSharingDetector load_or_train(const util::Cli& cli) {
 }
 
 int cmd_train(const util::Cli& cli) {
+  const std::string verify = cli.get("load-model", "");
+  if (!verify.empty()) {
+    // Verification mode: prove the artifact loads (magic, version, CRC,
+    // feature schema) and show what is inside. No training happens.
+    const auto detector = core::FalseSharingDetector::load_file(verify);
+    std::printf("model %s is valid\n\n%s", verify.c_str(),
+                detector.model().describe().c_str());
+    return 0;
+  }
+
   core::TrainingConfig config;
   if (cli.get_bool("reduced", false)) config = core::TrainingConfig::reduced();
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   config.jobs = cli_jobs(cli);
-  const core::TrainingData data = core::collect_or_load(
-      config, cli.get("cache", "fsml_training_cache.csv"), &std::cerr);
+
+  core::CollectOptions options;
+  options.resume = cli.get_bool("resume", false);
+  options.supervision.max_attempts =
+      static_cast<int>(cli.get_int_in("retries", 3, 1, 100));
+
+  // Deterministic fault injection (CI crash-resume smoke, failure drills).
+  fault::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 0));
+  plan.throw_rate = cli.get_double_in("fault-rate", 0.0, 0.0, 1.0);
+  plan.abort_after =
+      static_cast<std::uint64_t>(cli.get_int("inject-abort-after", 0));
+  fault::FaultInjector injector(plan);
+  if (plan.any()) options.injector = &injector;
+
+  core::CollectReport report;
+  const core::TrainingData data =
+      core::collect_or_load(config, cli.get("cache", "fsml_training_cache.csv"),
+                            &std::cerr, options, &report);
   core::FalseSharingDetector detector;
   detector.train(data);
-  const std::string out = cli.get("out", "fsml.tree");
+  const std::string out = cli.get("save-model", cli.get("out", "fsml.tree"));
   detector.save_file(out);
+  if (!report.quarantined.empty())
+    std::fprintf(stderr,
+                 "warning: %zu collection cell(s) quarantined; the model was "
+                 "trained without them\n",
+                 report.quarantined.size());
   std::printf("trained on %zu instances; model -> %s\n\n%s",
               data.instances.size(), out.c_str(),
               detector.model().describe().c_str());
@@ -246,10 +297,9 @@ int cmd_robustness(const util::Cli& cli) {
       core::evaluate_robustness(detector, config, &std::cerr);
 
   const std::string out = cli.get("out", "robustness.json");
-  std::ofstream os(out);
-  if (!os)
-    throw std::runtime_error("cannot open " + out + " for writing");
-  report.write_json(os);
+  util::AtomicFile artifact(out);  // never leaves a torn JSON behind
+  report.write_json(artifact.stream());
+  artifact.commit();
 
   std::printf("baseline: %zu/%zu correct\n", report.baseline.correct,
               report.baseline.runs);
