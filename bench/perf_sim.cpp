@@ -1,0 +1,181 @@
+// Simulator-throughput microbenchmark: the perf trajectory of the sim hot
+// path finally gets data.
+//
+// Runs the standard multi-threaded mini-program sweep (good + bad-fs +,
+// where supported, bad-ma) at 1/8/16/32 simulated cores, once with the O(1)
+// coherence directory (the default) and once with the reference
+// linear-peer-scan protocol, and reports simulated accesses/second and wall
+// time for both plus the speedup. Both configurations execute the exact
+// same simulation — identical counters, cycles and access totals (asserted
+// here and enforced by the bit-identity tests) — so the ratio isolates the
+// cost of owner/sharer discovery, which is precisely what grows with core
+// count.
+//
+// Results are written to BENCH_sim.json (schema fsml-bench-sim-v1); CI runs
+// this binary on every push and uploads the artifact, so regressions show
+// up as a trend break rather than an anecdote.
+//
+// Options (beyond bench_common.hpp's standard ones):
+//   --cores=1,8,16,32   simulated core counts to sweep
+//   --reps=2            timed repetitions per configuration (best is kept)
+//   --out=BENCH_sim.json  JSON artifact path (empty string disables)
+//   --no-reference      skip the linear-scan baseline (faster CI tracking)
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/raw_events.hpp"
+#include "trainers/trainer.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+
+struct SweepResult {
+  std::uint64_t accesses = 0;  ///< simulated loads+stores+atomics retired
+  double seconds = 0.0;        ///< best-of-reps host wall time
+};
+
+std::uint64_t retired_accesses(const sim::RawCounters& c) {
+  return c.get(sim::RawEvent::kLoadsRetired) +
+         c.get(sim::RawEvent::kStoresRetired) +
+         c.get(sim::RawEvent::kAtomicsRetired);
+}
+
+/// One full mini-program sweep at `cores` simulated cores. The sweep is the
+/// collection workload in miniature: every multi-threaded trainer in every
+/// mode it supports, smallest default problem size.
+SweepResult run_sweep(std::uint32_t cores, bool use_directory, int reps,
+                      std::uint64_t seed) {
+  sim::MachineConfig machine = cores > 12 ? sim::MachineConfig::xeon32(cores)
+                                          : sim::MachineConfig::westmere_dp(
+                                                std::max(cores, 2u));
+  machine.num_cores = cores;
+  machine.use_coherence_directory = use_directory;
+
+  SweepResult best;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::uint64_t accesses = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const trainers::MiniProgram* program : trainers::multithreaded_set()) {
+      for (const trainers::Mode mode :
+           {trainers::Mode::kGood, trainers::Mode::kBadFs,
+            trainers::Mode::kBadMa}) {
+        if (mode == trainers::Mode::kBadMa && !program->supports_bad_ma())
+          continue;
+        trainers::TrainerParams params;
+        params.mode = mode;
+        params.threads = cores;
+        params.size = program->default_sizes().front();
+        params.seed = seed;
+        const trainers::TrainerRun run =
+            trainers::run_trainer(*program, params, machine);
+        accesses += retired_accesses(run.raw);
+      }
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0) {
+      best.accesses = accesses;
+      best.seconds = elapsed.count();
+    } else {
+      // The simulation is deterministic; only the host timing varies.
+      FSML_CHECK_MSG(accesses == best.accesses,
+                     "simulated access count must not vary across reps");
+      best.seconds = std::min(best.seconds, elapsed.count());
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+
+  std::vector<std::int64_t> cores_list =
+      cli.get_int_list("cores", {1, 8, 16, 32}, 1, 64);
+  const int reps = static_cast<int>(cli.get_int_in("reps", 2, 1, 100));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const std::string out = cli.get("out", "BENCH_sim.json");
+  const bool reference = !cli.has("no-reference");
+
+  util::Table table(
+      reference
+          ? std::vector<std::string>{"cores", "sim accesses", "directory",
+                                     "acc/s", "peer scan", "acc/s", "speedup"}
+          : std::vector<std::string>{"cores", "sim accesses", "directory",
+                                     "acc/s"});
+  for (std::size_t col = 1; col < table.num_columns(); ++col)
+    table.set_align(col, util::Align::kRight);
+
+  std::string json = "{\n  \"schema\": \"fsml-bench-sim-v1\",\n  \"reps\": " +
+                     std::to_string(reps) + ",\n  \"results\": [";
+  bool first = true;
+  for (const std::int64_t cores64 : cores_list) {
+    FSML_CHECK_MSG(cores64 >= 1 && cores64 <= 64,
+                   "--cores entries must be in 1..64");
+    const auto cores = static_cast<std::uint32_t>(cores64);
+    const SweepResult dir = run_sweep(cores, /*use_directory=*/true, reps,
+                                      seed);
+    std::vector<std::string> row{std::to_string(cores),
+                                 std::to_string(dir.accesses),
+                                 util::auto_time(dir.seconds),
+                                 std::to_string(static_cast<std::uint64_t>(
+                                     dir.accesses / dir.seconds))};
+    double scan_seconds = 0.0;
+    if (reference) {
+      const SweepResult scan =
+          run_sweep(cores, /*use_directory=*/false, reps, seed);
+      FSML_CHECK_MSG(scan.accesses == dir.accesses,
+                     "directory and scan must simulate identical sweeps");
+      scan_seconds = scan.seconds;
+      char speedup[32];
+      std::snprintf(speedup, sizeof speedup, "%.2fx",
+                    scan.seconds / dir.seconds);
+      row.push_back(util::auto_time(scan.seconds));
+      row.push_back(std::to_string(
+          static_cast<std::uint64_t>(scan.accesses / scan.seconds)));
+      row.push_back(speedup);
+    }
+    table.add_row(row);
+
+    char entry[512];
+    if (reference) {
+      std::snprintf(entry, sizeof entry,
+                    "\n    {\"cores\": %u, \"accesses\": %llu, "
+                    "\"directory_seconds\": %.6f, \"scan_seconds\": %.6f, "
+                    "\"directory_accesses_per_sec\": %.0f, "
+                    "\"scan_accesses_per_sec\": %.0f, \"speedup\": %.3f}",
+                    cores, static_cast<unsigned long long>(dir.accesses),
+                    dir.seconds, scan_seconds, dir.accesses / dir.seconds,
+                    dir.accesses / scan_seconds, scan_seconds / dir.seconds);
+    } else {
+      std::snprintf(entry, sizeof entry,
+                    "\n    {\"cores\": %u, \"accesses\": %llu, "
+                    "\"directory_seconds\": %.6f, "
+                    "\"directory_accesses_per_sec\": %.0f}",
+                    cores, static_cast<unsigned long long>(dir.accesses),
+                    dir.seconds, dir.accesses / dir.seconds);
+    }
+    json += (first ? "" : ",");
+    json += entry;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  std::cout << "Simulator throughput: standard mini-program sweep, best of "
+            << reps << " rep(s)\n";
+  table.render(std::cout);
+  if (!out.empty()) {
+    util::write_file_atomic(out, json);
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}

@@ -1,6 +1,6 @@
 #include "exec/machine.hpp"
 
-#include <limits>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -53,30 +53,58 @@ RunResult Machine::run(sim::Cycles max_cycles) {
     t->ctx->set_resume(t->task.handle());
   }
 
+  // Scheduler ready-queue: a binary min-heap over (clock, thread id), so
+  // picking the next thread is O(log threads) instead of a linear scan per
+  // step. Only the resumed thread's clock can change, so each step is one
+  // sift-down of the root. The comparator breaks clock ties on the lower
+  // thread id — the same thread the old first-wins linear scan chose — so
+  // the interleaving (and with it every counter) is bit-identical.
+  struct Ready {
+    sim::Cycles clock;
+    std::uint32_t tid;
+  };
+  std::vector<Ready> heap(threads_.size());
+  std::size_t heap_size = threads_.size();
+  for (std::size_t i = 0; i < heap_size; ++i)
+    heap[i] = {threads_[i]->ctx->clock(), static_cast<std::uint32_t>(i)};
+  const auto before = [](const Ready& a, const Ready& b) {
+    return a.clock < b.clock || (a.clock == b.clock && a.tid < b.tid);
+  };
+  const auto sift_down = [&](std::size_t pos) {
+    for (;;) {
+      std::size_t least = pos;
+      const std::size_t left = 2 * pos + 1;
+      const std::size_t right = left + 1;
+      if (left < heap_size && before(heap[left], heap[least])) least = left;
+      if (right < heap_size && before(heap[right], heap[least])) least = right;
+      if (least == pos) return;
+      std::swap(heap[pos], heap[least]);
+      pos = least;
+    }
+  };
+  // All clocks start at 0 and the identity layout orders tids parent<child,
+  // so the initial array already satisfies the heap property; heapify anyway
+  // in case a future caller spawns mid-run with a nonzero clock.
+  for (std::size_t i = heap_size / 2; i-- > 0;) sift_down(i);
+
   std::uint64_t memory_ops = 0;
   RunResult result;
   sim::RawCounters last_snapshot;
   sim::Cycles next_boundary = slice_cycles_;
   std::uint32_t cancel_poll = 0;
-  for (;;) {
+  while (heap_size > 0) {
     // Cooperative cancellation: poll the flag every 4096 scheduler steps —
     // often enough to honour a deadline promptly, rare enough to stay off
     // the hot path.
     if (cancel_flag_ != nullptr && (++cancel_poll & 0xFFFu) == 0 &&
         cancel_flag_->load(std::memory_order_relaxed))
       throw Cancelled();
-    ThreadState* next = nullptr;
-    for (auto& t : threads_) {
-      if (t->done) continue;
-      if (next == nullptr || t->ctx->clock() < next->ctx->clock())
-        next = t.get();
-    }
-    if (next == nullptr) break;  // all threads finished
+    ThreadState* const next = threads_[heap[0].tid].get();
 
     // Slice sampling: when the global time front (the min clock) crosses a
     // boundary, everything counted so far belongs to completed slices.
     if (slice_cycles_ > 0) {
-      while (next->ctx->clock() >= next_boundary) {
+      while (heap[0].clock >= next_boundary) {
         const sim::RawCounters now = memory_.aggregate_counters();
         result.slices.push_back(last_snapshot.delta_to(now));
         last_snapshot = now;
@@ -84,7 +112,7 @@ RunResult Machine::run(sim::Cycles max_cycles) {
       }
     }
 
-    FSML_CHECK_MSG(next->ctx->clock() <= max_cycles,
+    FSML_CHECK_MSG(heap[0].clock <= max_cycles,
                    "simulation exceeded the cycle budget (deadlock or "
                    "runaway kernel?)");
 
@@ -98,7 +126,11 @@ RunResult Machine::run(sim::Cycles max_cycles) {
     if (next->done) {
       if (auto ep = next->task.handle().promise().exception)
         std::rethrow_exception(ep);
+      heap[0] = heap[--heap_size];
+    } else {
+      heap[0].clock = next->ctx->clock();
     }
+    sift_down(0);
   }
 
   result.core_cycles.reserve(threads_.size());

@@ -8,15 +8,15 @@ namespace fsml::sim {
 
 Cache::Cache(CacheGeometry geometry) : geometry_(geometry) {
   geometry_.validate();
-  sets_.resize(geometry_.num_sets());
-  for (Set& set : sets_) set.ways.resize(geometry_.ways);
+  ways_.resize(static_cast<std::size_t>(geometry_.num_sets()) *
+               geometry_.ways);
 }
 
 Cache::Way* Cache::find(Addr addr) {
-  Set& set = sets_[geometry_.set_index(addr)];
+  Way* const base = set_base(addr);
   const std::uint64_t tag = geometry_.tag(addr);
-  for (Way& way : set.ways)
-    if (way.state != MesiState::kInvalid && way.tag == tag) return &way;
+  for (Way* way = base; way != base + geometry_.ways; ++way)
+    if (way->state != MesiState::kInvalid && way->tag == tag) return way;
   return nullptr;
 }
 
@@ -37,72 +37,72 @@ MesiState Cache::touch(Addr addr) {
 }
 
 std::optional<Eviction> Cache::fill(Addr addr, MesiState state) {
-  FSML_CHECK_MSG(state != MesiState::kInvalid, "cannot fill an Invalid line");
+  FSML_DCHECK(state != MesiState::kInvalid);
   if (Way* way = find(addr)) {
+    notify(geometry_.line_addr(addr), way->state, state);
     way->state = state;
     way->lru_stamp = ++stamp_;
     return std::nullopt;
   }
-  Set& set = sets_[geometry_.set_index(addr)];
+  Way* const base = set_base(addr);
   // Prefer an invalid way; otherwise evict true-LRU.
   Way* victim = nullptr;
-  for (Way& way : set.ways) {
-    if (way.state == MesiState::kInvalid) {
-      victim = &way;
+  for (Way* way = base; way != base + geometry_.ways; ++way) {
+    if (way->state == MesiState::kInvalid) {
+      victim = way;
       break;
     }
   }
   std::optional<Eviction> eviction;
   if (!victim) {
     victim = &*std::min_element(
-        set.ways.begin(), set.ways.end(),
+        base, base + geometry_.ways,
         [](const Way& a, const Way& b) { return a.lru_stamp < b.lru_stamp; });
     const Addr victim_addr =
         (victim->tag * geometry_.num_sets() + geometry_.set_index(addr)) *
         geometry_.line_bytes;
     eviction = Eviction{victim_addr, victim->state};
+    notify(victim_addr, victim->state, MesiState::kInvalid);
   }
   victim->tag = geometry_.tag(addr);
   victim->state = state;
   victim->lru_stamp = ++stamp_;
+  notify(geometry_.line_addr(addr), MesiState::kInvalid, state);
   return eviction;
 }
 
 void Cache::set_state(Addr addr, MesiState state) {
   Way* way = find(addr);
   FSML_CHECK_MSG(way != nullptr, "set_state on a non-resident line");
-  if (state == MesiState::kInvalid) {
-    way->state = MesiState::kInvalid;
-  } else {
-    way->state = state;
-  }
+  notify(geometry_.line_addr(addr), way->state, state);
+  way->state = state;
 }
 
 MesiState Cache::invalidate(Addr addr) {
   Way* way = find(addr);
   if (!way) return MesiState::kInvalid;
   const MesiState prior = way->state;
+  notify(geometry_.line_addr(addr), prior, MesiState::kInvalid);
   way->state = MesiState::kInvalid;
   return prior;
 }
 
 std::size_t Cache::occupancy() const {
   std::size_t n = 0;
-  for (const Set& set : sets_)
-    for (const Way& way : set.ways)
-      if (way.state != MesiState::kInvalid) ++n;
+  for (const Way& way : ways_)
+    if (way.state != MesiState::kInvalid) ++n;
   return n;
 }
 
 void Cache::for_each_line(
     const std::function<void(Addr, MesiState)>& visit) const {
-  for (std::size_t s = 0; s < sets_.size(); ++s) {
-    for (const Way& way : sets_[s].ways) {
-      if (way.state == MesiState::kInvalid) continue;
-      const Addr addr =
-          (way.tag * geometry_.num_sets() + s) * geometry_.line_bytes;
-      visit(addr, way.state);
-    }
+  for (std::size_t i = 0; i < ways_.size(); ++i) {
+    const Way& way = ways_[i];
+    if (way.state == MesiState::kInvalid) continue;
+    const std::uint64_t s = i / geometry_.ways;
+    const Addr addr =
+        (way.tag * geometry_.num_sets() + s) * geometry_.line_bytes;
+    visit(addr, way.state);
   }
 }
 

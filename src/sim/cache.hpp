@@ -22,6 +22,15 @@ struct Eviction {
   MesiState state = MesiState::kInvalid;  ///< state at eviction time
 };
 
+/// Observes every per-line MESI transition a cache makes, including the
+/// implicit victim invalidation inside fill(). Plain function pointer +
+/// context (no std::function) — it sits on the access hot path. The
+/// coherence directory hangs off every L2 through this hook so it can stay
+/// exactly in sync without MemorySystem hand-maintaining it at each of the
+/// dozen mutation sites.
+using LineEventHook = void (*)(void* ctx, Addr line, MesiState from,
+                               MesiState to);
+
 class Cache {
  public:
   explicit Cache(CacheGeometry geometry);
@@ -55,6 +64,14 @@ class Cache {
   void for_each_line(
       const std::function<void(Addr, MesiState)>& visit) const;
 
+  /// Installs (or clears, with nullptr) the line-event hook. Fires on every
+  /// state transition where `from != to`; eviction victims report
+  /// `to == kInvalid`.
+  void set_line_event_hook(LineEventHook hook, void* ctx) {
+    hook_ = hook;
+    hook_ctx_ = ctx;
+  }
+
  private:
   struct Way {
     std::uint64_t tag = 0;
@@ -62,16 +79,28 @@ class Cache {
     std::uint64_t lru_stamp = 0;  ///< larger = more recently used
   };
 
-  struct Set {
-    std::vector<Way> ways;
-  };
-
   Way* find(Addr addr);
   const Way* find(Addr addr) const;
 
+  /// First way of the set holding `addr` in the flat tag store.
+  Way* set_base(Addr addr) {
+    return ways_.data() + geometry_.set_index(addr) * geometry_.ways;
+  }
+
+  void notify(Addr line, MesiState from, MesiState to) {
+    if (hook_ != nullptr && from != to) hook_(hook_ctx_, line, from, to);
+  }
+
   CacheGeometry geometry_;
-  std::vector<Set> sets_;
+  /// Flat tag store, one contiguous allocation: way w of set s lives at
+  /// ways_[s * geometry_.ways + w]. A whole 8-way set spans three host
+  /// cache lines, so a set scan never leaves the line the prefetcher
+  /// already pulled — the per-set std::vector this replaces cost one heap
+  /// block (and one pointer chase) per set.
+  std::vector<Way> ways_;
   std::uint64_t stamp_ = 0;
+  LineEventHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
 };
 
 }  // namespace fsml::sim

@@ -1,0 +1,111 @@
+// Coherence directory: O(1) per-line owner/sharer lookup for the memory
+// hierarchy.
+//
+// The linear-scan protocol in MemorySystem::service_request (and the
+// prefetcher's owned/shared-elsewhere probe) walks every peer core's L2 on
+// every miss, so a 32-core sweep pays O(cores) tag probes per coherence
+// event. Real Westmere parts avoid exactly this with the inclusive L3's
+// snoop filter; this directory is the simulator's equivalent: one record
+// per line resident in *any* private L2, holding
+//
+//   * `sharers` — a bitmask of every core whose L2 holds the line in any
+//     valid MESI state (bit i == core i), and
+//   * `owner` / `owner_state` — the unique core holding the line Modified
+//     or Exclusive, if one exists (MESI single-writer invariant).
+//
+// The directory is maintained *exactly* in sync with the caches: every L2
+// line transition (fill, upgrade, downgrade, invalidate, eviction,
+// writeback restate) flows through Cache's line-event hook into
+// on_line_event(). It is a pure index — it never decides protocol actions,
+// it only answers "who holds this line?" in O(1) — so enabling it cannot
+// change a single counter or cycle (MemorySystem cross-validates it
+// against a full peer scan in debug builds, and the fuzz tests compare it
+// to a reference scan after every access).
+//
+// Storage is an open-addressing hash table kept below a 1/2 load factor so
+// probes stay short. It starts small (a machine is constructed per trainer
+// run, and pre-sizing for the worst case — every L2 way of every core
+// holding a distinct line — made construction cost rival short
+// simulations) and doubles as the tracked working set grows, an amortized
+// O(1) deterministic rehash that typically settles within the first few
+// thousand fills; the access path itself never allocates. Erase uses
+// backward-shift deletion so no tombstones accumulate over long
+// simulations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/check.hpp"
+
+namespace fsml::sim {
+
+/// The sharer bitmask is one 64-bit word; MachineConfig::validate enforces
+/// this bound (the paper's experiments top out at 32 simulated cores).
+inline constexpr std::uint32_t kMaxDirectoryCores = 64;
+
+class CoherenceDirectory {
+ public:
+  static constexpr CoreId kNoOwner = ~CoreId{0};
+
+  struct Entry {
+    Addr line = 0;
+    std::uint64_t sharers = 0;  ///< all valid holders; 0 marks an empty slot
+    CoreId owner = kNoOwner;    ///< the M/E holder, if any
+    MesiState owner_state = MesiState::kInvalid;
+  };
+
+  /// `max_lines` is the worst-case number of simultaneously tracked lines
+  /// (num_cores * lines-per-L2 for an inclusive hierarchy); the table sizes
+  /// itself for small worst cases and grows on demand toward large ones.
+  CoherenceDirectory(std::uint32_t num_cores, std::uint64_t max_lines);
+
+  /// O(1) lookup: the record for `line`, or nullptr if no private L2 holds
+  /// it. The returned pointer is invalidated by the next state change.
+  const Entry* lookup(Addr line) const {
+    const std::size_t slot = find_slot(line);
+    return slots_[slot].sharers != 0 ? &slots_[slot] : nullptr;
+  }
+
+  /// Applies one L2 line transition (wired into Cache::set_line_event_hook;
+  /// `from == to` transitions are filtered out by the cache).
+  void on_line_event(CoreId core, Addr line, MesiState from, MesiState to);
+
+  /// Number of distinct lines currently tracked.
+  std::size_t size() const { return size_; }
+
+  /// Visits every tracked line (cold path: invariant checks, debug dumps).
+  template <typename F>
+  void for_each(F&& visit) const {
+    for (const Entry& e : slots_)
+      if (e.sharers != 0) visit(e);
+  }
+
+  static constexpr std::uint64_t bit_of(CoreId core) {
+    return std::uint64_t{1} << core;
+  }
+
+ private:
+  std::size_t find_slot(Addr line) const {
+    std::size_t i =
+        static_cast<std::size_t>((line * 0x9E3779B97F4A7C15ull) >> shift_);
+    while (slots_[i].sharers != 0 && slots_[i].line != line)
+      i = (i + 1) & mask_;
+    return i;
+  }
+
+  /// Backward-shift deletion keeps probe chains tombstone-free.
+  void erase_slot(std::size_t slot);
+
+  /// Doubles capacity and rehashes every live entry (amortized O(1)).
+  void grow();
+
+  std::vector<Entry> slots_;
+  std::size_t mask_ = 0;   ///< capacity - 1 (capacity is a power of two)
+  unsigned shift_ = 0;     ///< 64 - log2(capacity), for the fibonacci hash
+  std::size_t size_ = 0;
+};
+
+}  // namespace fsml::sim

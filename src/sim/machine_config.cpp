@@ -1,11 +1,15 @@
 #include "sim/machine_config.hpp"
 
+#include "sim/directory.hpp"
 #include "util/check.hpp"
 
 namespace fsml::sim {
 
 void MachineConfig::validate() const {
   FSML_CHECK(num_cores >= 1);
+  FSML_CHECK_MSG(num_cores <= kMaxDirectoryCores,
+                 "the coherence directory's sharer bitmask caps the "
+                 "simulator at 64 cores");
   FSML_CHECK_MSG(cores_per_socket == 0 || cores_per_socket <= num_cores,
                  "cores_per_socket exceeds core count");
   l1d.validate();

@@ -33,6 +33,14 @@ struct MachineConfig {
 
   double core_hz = 3.4e9;  ///< for cycles -> seconds conversion only
 
+  /// Resolve coherence lookups (owner/sharer discovery on every miss,
+  /// upgrade and prefetch probe) through the O(1) coherence directory
+  /// (sim/directory.hpp) instead of linearly scanning every peer core's
+  /// L2. Both paths are bit-identical — same counters, same cycles, same
+  /// training bytes (a regression test enforces it); the scan survives
+  /// purely as the cross-validation reference and perf baseline.
+  bool use_coherence_directory = true;
+
   void validate() const;
 
   /// The paper's experimental platform: 12-core Xeon X5690 (Westmere DP),

@@ -1,17 +1,35 @@
 #include "sim/memory_system.hpp"
 
 #include <algorithm>
-#include <map>
+#include <bit>
 
 #include "util/check.hpp"
 
 namespace fsml::sim {
 
-MemorySystem::MemorySystem(const MachineConfig& config) : config_(config) {
-  config_.validate();
+namespace {
+MachineConfig validated(MachineConfig config) {
+  config.validate();
+  return config;
+}
+}  // namespace
+
+MemorySystem::MemorySystem(const MachineConfig& config)
+    : config_(validated(config)),
+      dir_(config_.num_cores,
+           std::uint64_t{config_.num_cores} * config_.l2.num_lines()) {
   nodes_.reserve(config_.num_cores);
-  for (std::uint32_t i = 0; i < config_.num_cores; ++i)
+  for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
     nodes_.emplace_back(config_);
+    CoreNode& node = nodes_.back();
+    node.id = i;
+    node.directory = &dir_;
+    // Every L2 state transition — fill, upgrade, downgrade, invalidate,
+    // eviction — flows into the directory, which is what keeps it exactly
+    // in sync without per-site bookkeeping. (nodes_ is fully reserved, so
+    // &node stays valid for the lifetime of the MemorySystem.)
+    node.l2.set_line_event_hook(&MemorySystem::l2_line_event, &node);
+  }
   const std::uint32_t sockets =
       config_.cores_per_socket == 0
           ? 1
@@ -57,21 +75,28 @@ const Cache& MemorySystem::l2(CoreId core) const {
   return nodes_[core].l2;
 }
 
+void MemorySystem::l2_line_event(void* ctx, Addr line, MesiState from,
+                                 MesiState to) {
+  CoreNode* node = static_cast<CoreNode*>(ctx);
+  node->directory->on_line_event(node->id, line, from, to);
+}
+
 void MemorySystem::retire_instructions(CoreId core, std::uint64_t n) {
-  FSML_CHECK(core < nodes_.size());
+  FSML_DCHECK(core < nodes_.size());
   count(core, RawEvent::kInstructionsRetired, n);
-  for (AccessObserver* obs : observers_) obs->on_instructions(core, n);
+  if (!observers_.empty())
+    for (AccessObserver* obs : observers_) obs->on_instructions(core, n);
 }
 
 void MemorySystem::account_cycles(CoreId core, Cycles cycles) {
-  FSML_CHECK(core < nodes_.size());
+  FSML_DCHECK(core < nodes_.size());
   count(core, RawEvent::kCyclesTotal, cycles);
 }
 
 AccessResult MemorySystem::access(CoreId core, Addr addr, std::uint32_t size,
                                   AccessType type, Cycles now) {
-  FSML_CHECK(core < nodes_.size());
-  FSML_CHECK(size >= 1);
+  FSML_DCHECK(core < nodes_.size());
+  FSML_DCHECK(size >= 1);
 
   // One instruction retires per access.
   count(core, RawEvent::kInstructionsRetired, 1);
@@ -245,13 +270,16 @@ AccessResult MemorySystem::access_line(CoreId core, Addr line,
       count(core, RawEvent::kRfoUpgrades, 1);
       count(core, RawEvent::kTransSM, 1);
       bool remote_sharer = false;
-      for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
-        if (peer == core) continue;
-        if (nodes_[peer].l2.contains(line)) {
-          snoop_peer(peer, line, /*for_ownership=*/true);
-          count(core, RawEvent::kInvalidationsSent, 1);
-          if (socket_of(peer) != socket_of(core)) remote_sharer = true;
-        }
+      // Every holder except ourselves gets invalidated, in core order (the
+      // same order the peer scan visited them). Snapshot the mask first:
+      // snoop_peer mutates the directory entry as peers drop the line.
+      const std::uint64_t peers =
+          line_holders(line).sharers & ~CoherenceDirectory::bit_of(core);
+      for (std::uint64_t m = peers; m != 0; m &= m - 1) {
+        const CoreId peer = static_cast<CoreId>(std::countr_zero(m));
+        snoop_peer(peer, line, /*for_ownership=*/true);
+        count(core, RawEvent::kInvalidationsSent, 1);
+        if (socket_of(peer) != socket_of(core)) remote_sharer = true;
       }
       invalidate_other_l3s(socket_of(core), line);
       node.l2.set_state(line, MesiState::kModified);
@@ -324,29 +352,32 @@ void MemorySystem::maybe_stream_prefetch(CoreId core, Addr line, Cycles now,
   }
 
   // Hysteresis: refill only when the demand stream has consumed most of the
-  // window, then issue a whole burst.
+  // window, then issue a whole burst. The target list is a fixed inline
+  // buffer — the burst is bounded, so a per-burst heap allocation here was
+  // pure hot-path overhead.
   if (*frontier > line + (kPrefetchAhead - kPrefetchBurst) * line_bytes)
     return;
-  std::vector<Addr> targets;
+  std::array<Addr, 2 * kPrefetchBurst> targets;
+  std::size_t num_targets = 0;
   while (*frontier <= line + kPrefetchAhead * line_bytes &&
-         targets.size() < 2 * kPrefetchBurst) {
-    targets.push_back(*frontier);
+         num_targets < targets.size()) {
+    targets[num_targets++] = *frontier;
     *frontier += line_bytes;
   }
-  for (const Addr target : targets) {
+  for (std::size_t t = 0; t < num_targets; ++t) {
+    const Addr target = targets[t];
     if (node.l2.contains(target)) continue;
     // Never disturb a line another core owns (M/E) — the prefetcher queues
-    // behind the coherence protocol on real parts too.
-    bool owned_elsewhere = false;
-    bool shared_elsewhere = false;
-    for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
-      if (peer == core) continue;
-      const MesiState s = nodes_[peer].l2.state_of(target);
-      if (s == MesiState::kModified || s == MesiState::kExclusive)
-        owned_elsewhere = true;
-      else if (s == MesiState::kShared)
-        shared_elsewhere = true;
-    }
+    // behind the coherence protocol on real parts too. One directory
+    // lookup answers both probes the peer scan used to make.
+    const LineHolders holders = line_holders(target);
+    const bool owned_elsewhere =
+        holders.owner != CoherenceDirectory::kNoOwner && holders.owner != core;
+    std::uint64_t s_mask =
+        holders.sharers & ~CoherenceDirectory::bit_of(core);
+    if (holders.owner != CoherenceDirectory::kNoOwner)
+      s_mask &= ~CoherenceDirectory::bit_of(holders.owner);
+    const bool shared_elsewhere = s_mask != 0;
     if (owned_elsewhere) continue;
     Cache& local_l3 = l3s_[socket_of(core)];
     if (!local_l3.contains(target)) {
@@ -420,21 +451,16 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
   FSML_DCHECK(nodes_[core].l2.state_of(line) == MesiState::kInvalid);
   const std::uint32_t my_socket = socket_of(core);
 
-  // Find the (unique) M/E owner and the S sharers across every socket.
-  CoreId owner = 0;
-  MesiState owner_state = MesiState::kInvalid;
-  std::vector<CoreId> sharers;
-  for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
-    if (peer == core) continue;
-    const MesiState s = nodes_[peer].l2.state_of(line);
-    if (s == MesiState::kModified || s == MesiState::kExclusive) {
-      FSML_DCHECK(owner_state == MesiState::kInvalid);
-      owner = peer;
-      owner_state = s;
-    } else if (s == MesiState::kShared) {
-      sharers.push_back(peer);
-    }
-  }
+  // The (unique) M/E owner and the S sharers across every socket, from one
+  // O(1) directory lookup (or the reference peer scan). The requester holds
+  // nothing here, so its bit cannot be set.
+  const LineHolders holders = line_holders(line);
+  const CoreId owner = holders.owner;
+  const MesiState owner_state = holders.owner_state;
+  FSML_DCHECK((holders.sharers & CoherenceDirectory::bit_of(core)) == 0);
+  std::uint64_t sharer_mask = holders.sharers;
+  if (owner != CoherenceDirectory::kNoOwner)
+    sharer_mask &= ~CoherenceDirectory::bit_of(owner);
 
   const auto qpi_extra = [&](std::uint32_t other_socket) -> Cycles {
     if (other_socket == my_socket) return 0;
@@ -503,7 +529,8 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
   count(core, RawEvent::kL3Hit, 1);
 
   if (want_ownership) {
-    for (const CoreId peer : sharers) {
+    for (std::uint64_t m = sharer_mask; m != 0; m &= m - 1) {
+      const CoreId peer = static_cast<CoreId>(std::countr_zero(m));
       snoop_peer(peer, line, /*for_ownership=*/true);
       count(core, RawEvent::kInvalidationsSent, 1);
     }
@@ -516,8 +543,41 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
   if (!l3s_[my_socket].contains(line))
     fill_l3(my_socket, line, MesiState::kShared);
   return {ServiceLevel::kL3,
-          sharers.empty() ? MesiState::kExclusive : MesiState::kShared,
+          sharer_mask == 0 ? MesiState::kExclusive : MesiState::kShared,
           qpi_extra(home_socket)};
+}
+
+MemorySystem::LineHolders MemorySystem::scan_line_holders(Addr line) const {
+  LineHolders h;
+  for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
+    const MesiState s = nodes_[peer].l2.state_of(line);
+    if (s == MesiState::kInvalid) continue;
+    h.sharers |= CoherenceDirectory::bit_of(peer);
+    if (s == MesiState::kModified || s == MesiState::kExclusive) {
+      FSML_DCHECK(h.owner == CoherenceDirectory::kNoOwner);
+      h.owner = peer;
+      h.owner_state = s;
+    }
+  }
+  return h;
+}
+
+MemorySystem::LineHolders MemorySystem::line_holders(Addr line) const {
+  if (!config_.use_coherence_directory) return scan_line_holders(line);
+  LineHolders h;
+  if (const CoherenceDirectory::Entry* e = dir_.lookup(line)) {
+    h.owner = e->owner;
+    h.owner_state = e->owner_state;
+    h.sharers = e->sharers;
+  }
+#ifndef NDEBUG
+  // Exact-sync cross-validation: the directory must answer precisely what
+  // the full peer scan would have.
+  const LineHolders ref = scan_line_holders(line);
+  FSML_DCHECK(h.owner == ref.owner && h.owner_state == ref.owner_state &&
+              h.sharers == ref.sharers);
+#endif
+  return h;
 }
 
 MesiState MemorySystem::snoop_peer(CoreId peer, Addr line,
@@ -687,31 +747,62 @@ void MemorySystem::invalidate_other_l3s(std::uint32_t keep_socket,
 }
 
 bool MemorySystem::check_coherence_invariant() const {
-  std::map<Addr, std::vector<MesiState>> lines;
+  // The directory mirrors every L2 exactly (proven against a full scan
+  // first), so the cross-core single-writer check is one pass over its
+  // entries — no per-line multimap needed.
+  if (!check_directory_invariant()) return false;
+  bool ok = true;
+  dir_.for_each([&](const CoherenceDirectory::Entry& e) {
+    if (e.owner != CoherenceDirectory::kNoOwner &&
+        (e.sharers & ~CoherenceDirectory::bit_of(e.owner)) != 0)
+      ok = false;
+  });
+  if (!ok) return false;
   for (const CoreNode& node : nodes_) {
-    node.l2.for_each_line([&](Addr line, MesiState s) {
-      lines[line].push_back(s);
-    });
     // L1 state must agree with the same core's L2 (or be absent).
-    bool ok = true;
     node.l1.for_each_line([&](Addr line, MesiState s) {
-      const MesiState s2 = node.l2.state_of(line);
-      if (s2 == MesiState::kInvalid) ok = false;
-      // L1 may lag behind L2 only in the L2=M, L1=S/E direction is illegal;
-      // we keep them equal except when L1 lacks the line.
-      if (s != s2) ok = false;
+      if (node.l2.state_of(line) != s) ok = false;
     });
     if (!ok) return false;
   }
-  for (const auto& [line, states] : lines) {
-    int exclusive_like = 0;
-    for (MesiState s : states)
-      if (s == MesiState::kModified || s == MesiState::kExclusive)
-        ++exclusive_like;
-    if (exclusive_like > 1) return false;
-    if (exclusive_like == 1 && states.size() > 1) return false;
-  }
   return true;
+}
+
+bool MemorySystem::check_directory_invariant() const {
+  bool ok = true;
+  // Every resident L2 line must be tracked with exactly the right record...
+  std::size_t resident = 0;
+  for (CoreId core = 0; core < nodes_.size(); ++core) {
+    nodes_[core].l2.for_each_line([&](Addr line, MesiState s) {
+      ++resident;
+      const CoherenceDirectory::Entry* e = dir_.lookup(line);
+      if (e == nullptr ||
+          (e->sharers & CoherenceDirectory::bit_of(core)) == 0) {
+        ok = false;
+        return;
+      }
+      const bool exclusive_like =
+          s == MesiState::kModified || s == MesiState::kExclusive;
+      if (exclusive_like && (e->owner != core || e->owner_state != s))
+        ok = false;
+      if (!exclusive_like && e->owner == core) ok = false;
+    });
+  }
+  if (!ok) return false;
+  // ...and the directory must track nothing else: the (core, line) pairs it
+  // holds are exactly the resident ones, every entry is non-empty, and a
+  // recorded owner is always among its entry's sharers.
+  std::size_t tracked = 0;
+  std::size_t entries = 0;
+  dir_.for_each([&](const CoherenceDirectory::Entry& e) {
+    ++entries;
+    tracked += static_cast<std::size_t>(std::popcount(e.sharers));
+    if (e.sharers == 0) ok = false;
+    if (e.owner != CoherenceDirectory::kNoOwner &&
+        (e.sharers & CoherenceDirectory::bit_of(e.owner)) == 0)
+      ok = false;
+  });
+  return ok && tracked == resident && entries == dir_.size();
 }
 
 bool MemorySystem::check_inclusion() const {

@@ -20,11 +20,13 @@
 // tools can observe each access through AccessObserver.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "sim/cache.hpp"
+#include "sim/directory.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/observer.hpp"
 #include "sim/raw_events.hpp"
@@ -90,6 +92,16 @@ class MemorySystem {
   /// L1D ⊆ L2 ⊆ L3 for every core.
   bool check_inclusion() const;
 
+  /// The coherence directory (read-only; tests compare it to a full scan).
+  const CoherenceDirectory& directory() const { return dir_; }
+
+  /// Exact-sync invariant: the directory's owner/sharer records match a
+  /// full linear scan of every core's L2, line for line. Always true — the
+  /// directory is maintained through the caches' line-event hooks — but
+  /// the fuzz tests re-prove it after every access, and debug builds
+  /// FSML_DCHECK it on every directory-served miss.
+  bool check_directory_invariant() const;
+
  private:
   struct CoreNode {
     Cache l1;
@@ -103,6 +115,9 @@ class MemorySystem {
     /// for our kernels). Round-robin replacement.
     std::array<Addr, 8> stream_table{};
     std::size_t stream_rr = 0;
+    /// Context for the L2 line-event hook feeding the coherence directory.
+    CoreId id = 0;
+    CoherenceDirectory* directory = nullptr;
 
     CoreNode(const MachineConfig& cfg)
         : l1(cfg.l1d),
@@ -111,6 +126,10 @@ class MemorySystem {
           store_buffer(cfg.store_buffer_entries),
           lfb(cfg.lfb_entries) {}
   };
+
+  /// Trampoline from a core's L2 into the directory (Cache::LineEventHook).
+  static void l2_line_event(void* ctx, Addr line, MesiState from,
+                            MesiState to);
 
   void count(CoreId core, RawEvent e, std::uint64_t n = 1) {
     if (counting_) nodes_[core].counters.add(e, n);
@@ -133,6 +152,23 @@ class MemorySystem {
   /// used by the shared DRAM-channel model.
   LineResult service_request(CoreId core, Addr line, bool want_ownership,
                              Cycles now);
+
+  /// Who holds `line` in their L2 right now: the unique M/E owner (if any)
+  /// plus a bitmask of every valid holder. This is the one question the
+  /// coherence protocol asks about peers; the directory answers it in O(1),
+  /// the scan in O(cores).
+  struct LineHolders {
+    CoreId owner = CoherenceDirectory::kNoOwner;
+    MesiState owner_state = MesiState::kInvalid;
+    std::uint64_t sharers = 0;  ///< all valid holders, including the owner
+  };
+
+  /// Reference implementation: full linear scan over every core's L2.
+  LineHolders scan_line_holders(Addr line) const;
+
+  /// Directory-served lookup (config.use_coherence_directory) or the
+  /// reference scan; debug builds cross-validate the two on every call.
+  LineHolders line_holders(Addr line) const;
 
   /// Cycles of queueing delay at the shared DRAM channel for an access of
   /// `line` issued at `now`; advances the channel's next-free time and
@@ -184,6 +220,7 @@ class MemorySystem {
   void record_fill_transition(CoreId core, MesiState state);
 
   MachineConfig config_;
+  CoherenceDirectory dir_;  ///< per-line owner/sharer index over all L2s
   std::vector<CoreNode> nodes_;
   std::vector<Cache> l3s_;  ///< one per socket
   struct DramBank {

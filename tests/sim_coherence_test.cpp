@@ -9,6 +9,7 @@
 
 #include "sim/machine_config.hpp"
 #include "sim/memory_system.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -273,6 +274,144 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, CoherenceStress,
     ::testing::Combine(::testing::Values(1, 2, 3, 4),
                        ::testing::Values(11, 22, 33)));
+
+// ---- coherence directory ---------------------------------------------------
+//
+// The directory must mirror every L2's MESI state *exactly* — same owner,
+// same sharer set, nothing stale — after every access, and enabling it must
+// not change one counter or cycle versus the reference linear scan.
+
+TEST(Directory, TracksOwnerAndSharersThroughProtocolTransitions) {
+  sim::MemorySystem mem(cfg2());
+  // Cold store: core 0 owns the line Modified.
+  mem.access(0, kLine, 8, AccessType::kStore, 0);
+  const sim::CoherenceDirectory::Entry* e = mem.directory().lookup(kLine);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, 0u);
+  EXPECT_EQ(e->owner_state, MesiState::kModified);
+  EXPECT_EQ(e->sharers, 0b01u);
+
+  // Peer read (HITM): both end Shared, no owner.
+  mem.access(1, kLine, 8, AccessType::kLoad, 1000);
+  e = mem.directory().lookup(kLine);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, sim::CoherenceDirectory::kNoOwner);
+  EXPECT_EQ(e->sharers, 0b11u);
+
+  // Upgrade: core 1 invalidates core 0 and takes sole ownership.
+  mem.access(1, kLine, 8, AccessType::kStore, 2000);
+  e = mem.directory().lookup(kLine);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->owner, 1u);
+  EXPECT_EQ(e->owner_state, MesiState::kModified);
+  EXPECT_EQ(e->sharers, 0b10u);
+  EXPECT_TRUE(mem.check_directory_invariant());
+}
+
+TEST(Directory, EvictionRemovesTheEvictedCoreFromTheEntry) {
+  // Tiny L2: 4 ways. Stream enough conflicting lines through one set to
+  // evict the first, and the directory must forget it.
+  sim::MemorySystem mem(sim::MachineConfig::tiny(2));
+  const auto& geo = mem.l2(0).geometry();
+  const sim::Addr stride =
+      geo.num_sets() * geo.line_bytes;  // same set every time
+  mem.access(0, kLine, 8, AccessType::kLoad, 0);
+  ASSERT_NE(mem.directory().lookup(kLine), nullptr);
+  for (sim::Addr i = 1; i <= geo.ways + 1; ++i)
+    mem.access(0, kLine + i * stride, 8, AccessType::kLoad, 100 * i);
+  EXPECT_FALSE(mem.l2(0).contains(kLine));
+  EXPECT_EQ(mem.directory().lookup(kLine), nullptr);
+  EXPECT_TRUE(mem.check_directory_invariant());
+}
+
+TEST(Directory, DirtyEvictionWritebackKeepsDirectoryExact) {
+  // A Modified line evicted from L2 writes back to L3; the directory entry
+  // must drop the owner along with the line.
+  sim::MemorySystem mem(sim::MachineConfig::tiny(2));
+  const auto& geo = mem.l2(0).geometry();
+  const sim::Addr stride = geo.num_sets() * geo.line_bytes;
+  mem.access(0, kLine, 8, AccessType::kStore, 0);  // Modified at core 0
+  for (sim::Addr i = 1; i <= geo.ways + 1; ++i)
+    mem.access(0, kLine + i * stride, 8, AccessType::kStore, 100 * i);
+  EXPECT_FALSE(mem.l2(0).contains(kLine));
+  EXPECT_EQ(mem.directory().lookup(kLine), nullptr);
+  EXPECT_GT(mem.counters(0).get(RawEvent::kL2LinesOutDemandDirty), 0u);
+  EXPECT_TRUE(mem.check_directory_invariant());
+}
+
+TEST(Directory, L3BackInvalidationDropsPrivateCopies) {
+  // Overflow the tiny shared L3: its inclusion back-invalidations must
+  // propagate into the directory (the classic stale-sharer trap).
+  sim::MemorySystem mem(sim::MachineConfig::tiny(2));
+  const std::uint64_t l3_lines = mem.l3().geometry().num_lines();
+  for (sim::Addr i = 0; i < 2 * l3_lines; ++i)
+    mem.access(i % 2, kLine + 64 * i, 8,
+               i % 3 == 0 ? AccessType::kStore : AccessType::kLoad, 10 * i);
+  EXPECT_TRUE(mem.check_directory_invariant());
+  EXPECT_TRUE(mem.check_inclusion());
+}
+
+TEST(Directory, RejectsMoreCoresThanTheSharerMaskHolds) {
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(2);
+  cfg.num_cores = 65;
+  EXPECT_THROW(sim::MemorySystem mem(cfg), util::CheckFailure);
+}
+
+class DirectoryFuzz : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DirectoryFuzz, MatchesReferenceScanAfterEveryAccess) {
+  const auto [cores, seed] = GetParam();
+  sim::MemorySystem mem(
+      sim::MachineConfig::tiny(static_cast<std::uint32_t>(cores)));
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  // Tight range on a tiny machine: maximal eviction/upgrade/writeback and
+  // back-invalidation interplay, checked against the reference scan after
+  // *every* access (check_directory_invariant is the full comparison).
+  for (int op = 0; op < 3000; ++op) {
+    const auto core = static_cast<sim::CoreId>(
+        rng.next_below(static_cast<std::uint64_t>(cores)));
+    const sim::Addr addr = 0x8000 + rng.next_below(512) * 24;
+    const auto type = static_cast<AccessType>(rng.next_below(3));
+    mem.access(core, addr, 8, type, static_cast<sim::Cycles>(op) * 3);
+    ASSERT_TRUE(mem.check_directory_invariant()) << "op " << op;
+  }
+  EXPECT_TRUE(mem.check_coherence_invariant());
+  EXPECT_TRUE(mem.check_inclusion());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DirectoryFuzz,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(7, 21)));
+
+TEST(DirectoryBitIdentity, CountersAndLatenciesMatchReferenceScan) {
+  // The same random multi-core trace through a directory-served hierarchy
+  // and a reference linear-scan hierarchy must produce byte-identical
+  // counters and identical per-access results.
+  sim::MachineConfig dir_cfg = sim::MachineConfig::tiny(4);
+  sim::MachineConfig ref_cfg = dir_cfg;
+  ref_cfg.use_coherence_directory = false;
+  sim::MemorySystem with_dir(dir_cfg);
+  sim::MemorySystem with_scan(ref_cfg);
+  util::Rng rng(99);
+  for (int op = 0; op < 5000; ++op) {
+    const auto core = static_cast<sim::CoreId>(rng.next_below(4));
+    const sim::Addr addr = 0x8000 + rng.next_below(384) * 16;
+    const auto type = static_cast<AccessType>(rng.next_below(3));
+    const auto now = static_cast<sim::Cycles>(op) * 5;
+    const auto a = with_dir.access(core, addr, 8, type, now);
+    const auto b = with_scan.access(core, addr, 8, type, now);
+    ASSERT_EQ(a.latency, b.latency) << "op " << op;
+    ASSERT_EQ(a.level, b.level) << "op " << op;
+    ASSERT_EQ(a.dtlb_miss, b.dtlb_miss) << "op " << op;
+  }
+  for (sim::CoreId c = 0; c < 4; ++c)
+    for (std::size_t e = 0; e < sim::kNumRawEvents; ++e)
+      ASSERT_EQ(with_dir.counters(c).get(static_cast<RawEvent>(e)),
+                with_scan.counters(c).get(static_cast<RawEvent>(e)))
+          << "core " << c << " event "
+          << sim::raw_event_name(static_cast<RawEvent>(e));
+}
 
 TEST(Observer, DeliversEveryAccessWithFinalLevel) {
   struct Recorder : sim::AccessObserver {
