@@ -2,21 +2,27 @@
 // path finally gets data.
 //
 // Runs the standard multi-threaded mini-program sweep (good + bad-fs +,
-// where supported, bad-ma) at 1/8/16/32 simulated cores, once with the O(1)
-// coherence directory (the default) and once with the reference
-// linear-peer-scan protocol, and reports simulated accesses/second and wall
-// time for both plus the speedup. Both configurations execute the exact
-// same simulation — identical counters, cycles and access totals (asserted
-// here and enforced by the bit-identity tests) — so the ratio isolates the
-// cost of owner/sharer discovery, which is precisely what grows with core
-// count.
+// where supported, bad-ma) at the requested simulated core counts, once
+// with the O(1) coherence directory (the default) and once with the
+// reference linear-peer-scan protocol, and reports simulated
+// accesses/second and wall time for both plus the speedup. Both
+// configurations execute the exact same simulation — identical counters,
+// cycles and access totals (asserted here and enforced by the bit-identity
+// tests) — so the ratio isolates the cost of owner/sharer discovery, which
+// is precisely what grows with core count.
 //
-// Results are written to BENCH_sim.json (schema fsml-bench-sim-v1); CI runs
-// this binary on every push and uploads the artifact, so regressions show
-// up as a trend break rather than an anecdote.
+// Core counts up to 64 run on a single socket; 65..128 run as a 2-socket
+// and 129..256 as a 4-socket NUMA machine (the hierarchical sharer mask's
+// 128/256-core scenario family the paper's hardware could never express).
+//
+// Results are written to BENCH_sim.json (schema fsml-bench-sim-v2; rows
+// carry the socket count); CI runs this binary on every push and uploads
+// the artifact, so regressions show up as a trend break rather than an
+// anecdote.
 //
 // Options (beyond bench_common.hpp's standard ones):
-//   --cores=1,8,16,32   simulated core counts to sweep
+//   --cores=1,8,16,32,128,256  simulated core counts to sweep (1..256;
+//                          multi-socket counts must divide evenly)
 //   --reps=2            timed repetitions per configuration (best is kept)
 //   --out=BENCH_sim.json  JSON artifact path (empty string disables)
 //   --no-reference      skip the linear-scan baseline (faster CI tracking)
@@ -50,11 +56,22 @@ std::uint64_t retired_accesses(const sim::RawCounters& c) {
 /// One full mini-program sweep at `cores` simulated cores. The sweep is the
 /// collection workload in miniature: every multi-threaded trainer in every
 /// mode it supports, smallest default problem size.
+/// Machine for a sweep point: single socket up to 64 cores (unchanged from
+/// the v1 sweep), 2 sockets up to 128, 4 sockets up to 256.
+sim::MachineConfig sweep_machine(std::uint32_t cores) {
+  if (cores <= 12)
+    return sim::MachineConfig::westmere_dp(std::max(cores, 2u));
+  if (cores <= 64) return sim::MachineConfig::xeon32(cores);
+  const std::uint32_t sockets = cores <= 128 ? 2 : 4;
+  FSML_CHECK_MSG(cores % sockets == 0,
+                 "multi-socket sweep core counts must divide evenly across "
+                 "2 (<=128) or 4 (<=256) sockets");
+  return sim::MachineConfig::numa(sockets, cores / sockets);
+}
+
 SweepResult run_sweep(std::uint32_t cores, bool use_directory, int reps,
                       std::uint64_t seed) {
-  sim::MachineConfig machine = cores > 12 ? sim::MachineConfig::xeon32(cores)
-                                          : sim::MachineConfig::westmere_dp(
-                                                std::max(cores, 2u));
+  sim::MachineConfig machine = sweep_machine(cores);
   machine.num_cores = cores;
   machine.use_coherence_directory = use_directory;
 
@@ -99,7 +116,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
 
   std::vector<std::int64_t> cores_list =
-      cli.get_int_list("cores", {1, 8, 16, 32}, 1, 64);
+      cli.get_int_list("cores", {1, 8, 16, 32, 128, 256}, 1, 256);
   const int reps = static_cast<int>(cli.get_int_in("reps", 2, 1, 100));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 42));
@@ -115,13 +132,14 @@ int main(int argc, char** argv) {
   for (std::size_t col = 1; col < table.num_columns(); ++col)
     table.set_align(col, util::Align::kRight);
 
-  std::string json = "{\n  \"schema\": \"fsml-bench-sim-v1\",\n  \"reps\": " +
+  std::string json = "{\n  \"schema\": \"fsml-bench-sim-v2\",\n  \"reps\": " +
                      std::to_string(reps) + ",\n  \"results\": [";
   bool first = true;
   for (const std::int64_t cores64 : cores_list) {
-    FSML_CHECK_MSG(cores64 >= 1 && cores64 <= 64,
-                   "--cores entries must be in 1..64");
+    FSML_CHECK_MSG(cores64 >= 1 && cores64 <= 256,
+                   "--cores entries must be in 1..256");
     const auto cores = static_cast<std::uint32_t>(cores64);
+    const std::uint32_t sockets = sweep_machine(cores).topology.sockets;
     const SweepResult dir = run_sweep(cores, /*use_directory=*/true, reps,
                                       seed);
     std::vector<std::string> row{std::to_string(cores),
@@ -149,19 +167,23 @@ int main(int argc, char** argv) {
     char entry[512];
     if (reference) {
       std::snprintf(entry, sizeof entry,
-                    "\n    {\"cores\": %u, \"accesses\": %llu, "
+                    "\n    {\"cores\": %u, \"sockets\": %u, "
+                    "\"accesses\": %llu, "
                     "\"directory_seconds\": %.6f, \"scan_seconds\": %.6f, "
                     "\"directory_accesses_per_sec\": %.0f, "
                     "\"scan_accesses_per_sec\": %.0f, \"speedup\": %.3f}",
-                    cores, static_cast<unsigned long long>(dir.accesses),
+                    cores, sockets,
+                    static_cast<unsigned long long>(dir.accesses),
                     dir.seconds, scan_seconds, dir.accesses / dir.seconds,
                     dir.accesses / scan_seconds, scan_seconds / dir.seconds);
     } else {
       std::snprintf(entry, sizeof entry,
-                    "\n    {\"cores\": %u, \"accesses\": %llu, "
+                    "\n    {\"cores\": %u, \"sockets\": %u, "
+                    "\"accesses\": %llu, "
                     "\"directory_seconds\": %.6f, "
                     "\"directory_accesses_per_sec\": %.0f}",
-                    cores, static_cast<unsigned long long>(dir.accesses),
+                    cores, sockets,
+                    static_cast<unsigned long long>(dir.accesses),
                     dir.seconds, dir.accesses / dir.seconds);
     }
     json += (first ? "" : ",");

@@ -28,13 +28,28 @@ Machine::Machine(const sim::MachineConfig& config, std::uint64_t seed)
       seed_(seed),
       spawn_rng_(seed) {}
 
+sim::CoreId Machine::placement_core(std::uint32_t thread) const {
+  if (placement_ == ThreadPlacement::kPacked) return thread;
+  const sim::SocketTopology& topo = config().topology;
+  if (!topo.multi_socket()) return thread;
+  // Round-robin across sockets: thread t is the (t / sockets)-th thread on
+  // socket t % sockets. With threads <= cores on an even topology this
+  // always finds a free core.
+  const std::uint32_t socket = thread % topo.sockets;
+  const std::uint32_t slot = thread / topo.sockets;
+  FSML_CHECK_MSG(slot < topo.cores_per_socket,
+                 "scatter placement ran out of per-socket cores");
+  return socket * topo.cores_per_socket + slot;
+}
+
 void Machine::spawn(ThreadFn fn) {
   FSML_CHECK_MSG(!ran_, "spawn after run() is not supported");
   FSML_CHECK_MSG(threads_.size() < config().num_cores,
                  "more threads than cores: enlarge the MachineConfig");
   auto state = std::make_unique<ThreadState>();
   state->fn = std::move(fn);
-  const auto core = static_cast<sim::CoreId>(threads_.size());
+  const sim::CoreId core =
+      placement_core(static_cast<std::uint32_t>(threads_.size()));
   // Per-thread RNG stream derived deterministically from the machine seed.
   state->ctx.reset(new ThreadCtx(this, core, spawn_rng_.next()));
   threads_.push_back(std::move(state));

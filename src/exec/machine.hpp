@@ -48,6 +48,15 @@ class Cancelled : public std::runtime_error {
 
 class Machine;
 
+/// Thread-to-core placement policy for Machine::spawn.
+///
+/// kPacked (default, and the pre-NUMA behavior): thread t runs on core t,
+/// filling socket 0 before socket 1. kScatter: threads round-robin across
+/// sockets (thread t -> socket t % sockets), the OS-scheduler-like spread
+/// that turns intra-socket false sharing into cross-socket false sharing.
+/// On a single-socket machine both policies are identical.
+enum class ThreadPlacement : std::uint8_t { kPacked, kScatter };
+
 /// Per-thread handle kernels use to talk to the simulated hardware.
 class ThreadCtx {
  public:
@@ -187,8 +196,22 @@ class Machine {
   const sim::MachineConfig& config() const { return memory_.config(); }
   std::uint64_t seed() const { return seed_; }
 
-  /// Registers a simulated thread; runs on the next free core.
+  /// Registers a simulated thread; the placement policy picks its core.
   void spawn(ThreadFn fn);
+
+  /// Chooses how subsequent spawn() calls map threads onto sockets. Must be
+  /// called before the first spawn so core assignment stays deterministic.
+  void set_thread_placement(ThreadPlacement placement) {
+    FSML_CHECK_MSG(threads_.empty(),
+                   "set_thread_placement before spawning threads");
+    placement_ = placement;
+  }
+  ThreadPlacement thread_placement() const { return placement_; }
+
+  /// Core the i-th spawned thread runs on.
+  sim::CoreId core_of_thread(std::uint32_t i) const {
+    return threads_.at(i)->ctx->core();
+  }
 
   /// Samples the aggregate PMU every `slice_cycles` of virtual time and
   /// reports per-slice counter deltas in RunResult::slices. This is the
@@ -227,10 +250,14 @@ class Machine {
     bool done = false;
   };
 
+  /// Core for the `thread`-th spawned thread under the active placement.
+  sim::CoreId placement_core(std::uint32_t thread) const;
+
   sim::MemorySystem memory_;
   VirtualArena arena_;
   std::uint64_t seed_;
   util::Rng spawn_rng_;
+  ThreadPlacement placement_ = ThreadPlacement::kPacked;
   std::vector<std::unique_ptr<ThreadState>> threads_;
   ThreadState* running_ = nullptr;
   bool ran_ = false;

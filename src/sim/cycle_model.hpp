@@ -38,6 +38,20 @@ struct CycleModel {
   /// Extra latency for any transfer that crosses the socket interconnect
   /// (QPI on Westmere DP). Only used by multi-socket configurations.
   Cycles qpi_hop = 65;
+  /// Home-agent directory lookup charged on top of the QPI wire hop for
+  /// every cross-socket transfer: the requesting socket consults the home
+  /// node's directory before the data moves. Only used by multi-socket
+  /// configurations; a remote HITM costs peer_hitm + cross_socket_hop()
+  /// versus the local peer_hitm.
+  Cycles home_agent = 25;
+  /// Extra DRAM latency when the line's home memory controller sits on a
+  /// different socket than the requester (remote DRAM read over QPI), on
+  /// top of cross_socket_hop(). Only used by multi-socket configurations.
+  Cycles dram_remote_extra = 120;
+
+  /// Total interconnect cost of one cross-socket transfer: the QPI wire
+  /// hop plus the home agent's directory lookup.
+  Cycles cross_socket_hop() const { return qpi_hop + home_agent; }
   Cycles tlb_walk = 30;        ///< page-walk penalty added on DTLB miss
   Cycles store_commit = 1;     ///< store retires into the store buffer
   double compute_cpi = 1.0;    ///< cycles per plain ALU instruction

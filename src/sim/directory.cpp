@@ -4,10 +4,14 @@
 
 namespace fsml::sim {
 
-CoherenceDirectory::CoherenceDirectory(std::uint32_t num_cores,
-                                       std::uint64_t max_lines) {
-  FSML_CHECK_MSG(num_cores >= 1 && num_cores <= kMaxDirectoryCores,
-                 "coherence directory supports 1..64 cores");
+CoherenceDirectory::CoherenceDirectory(const SocketTopology& topo,
+                                       std::uint32_t num_cores,
+                                       std::uint64_t max_lines)
+    : idx_(topo) {
+  FSML_CHECK_MSG(num_cores >= 1 && num_cores <= kMaxSimulatedCores,
+                 "coherence directory supports 1..256 cores");
+  FSML_CHECK_MSG(num_cores <= idx_.span() * kMaxSockets,
+                 "core id would overflow the hierarchical sharer mask");
   // Start at 2 * max_lines rounded up to a power of two, clamped to
   // [64, 2048] slots; grow() doubles from there as lines are tracked. The
   // clamp matters: a 32-core machine's worst case is ~256k slots (6 MB to
@@ -24,9 +28,8 @@ void CoherenceDirectory::on_line_event(CoreId core, Addr line,
                                        [[maybe_unused]] MesiState from,
                                        MesiState to) {
   FSML_DCHECK(from != to);
-  const std::uint64_t bit = bit_of(core);
   std::size_t slot = find_slot(line);
-  if (slots_[slot].sharers == 0 && to != MesiState::kInvalid &&
+  if (slots_[slot].sharers.none() && to != MesiState::kInvalid &&
       2 * (size_ + 1) > slots_.size()) {
     grow();
     slot = find_slot(line);
@@ -35,27 +38,27 @@ void CoherenceDirectory::on_line_event(CoreId core, Addr line,
 
   if (to == MesiState::kInvalid) {
     // Invalidation or eviction: the entry must exist and track this core.
-    FSML_DCHECK(e.sharers & bit);
-    e.sharers &= ~bit;
+    FSML_DCHECK(idx_.test(e.sharers, core));
+    idx_.clear(e.sharers, core);
     if (e.owner == core) {
       e.owner = kNoOwner;
       e.owner_state = MesiState::kInvalid;
     }
-    if (e.sharers == 0) {
+    if (e.sharers.none()) {
       --size_;
       erase_slot(slot);
     }
     return;
   }
 
-  if (e.sharers == 0) {
+  if (e.sharers.none()) {
     FSML_DCHECK(2 * (size_ + 1) <= slots_.size());
     e.line = line;
     e.owner = kNoOwner;
     e.owner_state = MesiState::kInvalid;
     ++size_;
   }
-  e.sharers |= bit;
+  idx_.set(e.sharers, core);
   if (to == MesiState::kModified || to == MesiState::kExclusive) {
     // MESI single-writer: a second owner would mean the protocol let two
     // cores hold the line M/E at once.
@@ -76,16 +79,16 @@ void CoherenceDirectory::grow() {
   shift_ = static_cast<unsigned>(
       64 - std::countr_zero(static_cast<std::uint64_t>(capacity)));
   for (const Entry& e : old)
-    if (e.sharers != 0) slots_[find_slot(e.line)] = e;
+    if (e.sharers.any()) slots_[find_slot(e.line)] = e;
 }
 
 void CoherenceDirectory::erase_slot(std::size_t slot) {
-  slots_[slot].sharers = 0;
+  slots_[slot].sharers.reset();
   std::size_t hole = slot;
   std::size_t i = slot;
   while (true) {
     i = (i + 1) & mask_;
-    if (slots_[i].sharers == 0) return;
+    if (slots_[i].sharers.none()) return;
     const std::size_t home = static_cast<std::size_t>(
         (slots_[i].line * 0x9E3779B97F4A7C15ull) >> shift_);
     // Shift the entry back into the hole unless its home slot lies in the
@@ -94,7 +97,7 @@ void CoherenceDirectory::erase_slot(std::size_t slot) {
     const bool home_in_gap = ((i - home) & mask_) < ((i - hole) & mask_);
     if (!home_in_gap) {
       slots_[hole] = slots_[i];
-      slots_[i].sharers = 0;
+      slots_[i].sharers.reset();
       hole = i;
     }
   }

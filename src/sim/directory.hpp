@@ -8,8 +8,8 @@
 // snoop filter; this directory is the simulator's equivalent: one record
 // per line resident in *any* private L2, holding
 //
-//   * `sharers` — a bitmask of every core whose L2 holds the line in any
-//     valid MESI state (bit i == core i), and
+//   * `sharers` — a hierarchical bitmask of every core whose L2 holds the
+//     line in any valid MESI state (one 64-bit word per socket), and
 //   * `owner` / `owner_state` — the unique core holding the line Modified
 //     or Exclusive, if one exists (MESI single-writer invariant).
 //
@@ -33,18 +33,78 @@
 // simulations.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "sim/topology.hpp"
 #include "sim/types.hpp"
 #include "util/check.hpp"
 
 namespace fsml::sim {
 
-/// The sharer bitmask is one 64-bit word; MachineConfig::validate enforces
-/// this bound (the paper's experiments top out at 32 simulated cores).
-inline constexpr std::uint32_t kMaxDirectoryCores = 64;
+/// Hierarchical sharer set: one 64-bit word per socket, inline (no heap).
+/// On a single-socket machine only word 0 is ever touched, so the layout,
+/// iteration order, and cost degenerate to the pre-NUMA single-word mask.
+struct SharerMask {
+  std::array<std::uint64_t, kMaxSockets> words{};
+
+  bool any() const {
+    return (words[0] | words[1] | words[2] | words[3]) != 0;
+  }
+  bool none() const { return !any(); }
+  int count() const {
+    int n = 0;
+    for (const std::uint64_t w : words) n += std::popcount(w);
+    return n;
+  }
+  void reset() { words.fill(0); }
+  std::uint64_t word(std::uint32_t socket) const { return words[socket]; }
+
+  friend bool operator==(const SharerMask&, const SharerMask&) = default;
+};
+
+/// Maps core ids onto (word, bit) positions of a SharerMask for a fixed
+/// SocketTopology, and iterates masks in ascending core order — socket
+/// words low to high, bits low to high — which, with socket-contiguous
+/// core numbering, is exactly the ascending core-id order the pre-NUMA
+/// single-word mask produced (the bit-identity contract relies on this).
+class SharerIndex {
+ public:
+  SharerIndex() = default;
+  explicit SharerIndex(const SocketTopology& topo)
+      : span_(topo.cores_per_socket == 0 ? kMaxCoresPerSocket
+                                         : topo.cores_per_socket) {}
+
+  void set(SharerMask& m, CoreId core) const {
+    m.words[core / span_] |= std::uint64_t{1} << (core % span_);
+  }
+  void clear(SharerMask& m, CoreId core) const {
+    m.words[core / span_] &= ~(std::uint64_t{1} << (core % span_));
+  }
+  bool test(const SharerMask& m, CoreId core) const {
+    return (m.words[core / span_] >> (core % span_)) & 1u;
+  }
+
+  /// Visits every set core in ascending core-id order.
+  template <typename F>
+  void for_each(const SharerMask& m, F&& visit) const {
+    for (std::uint32_t w = 0; w < kMaxSockets; ++w) {
+      std::uint64_t bits = m.words[w];
+      while (bits != 0) {
+        visit(static_cast<CoreId>(
+            w * span_ + static_cast<std::uint32_t>(std::countr_zero(bits))));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  std::uint32_t span() const { return span_; }
+
+ private:
+  std::uint32_t span_ = kMaxCoresPerSocket;  ///< cores per mask word
+};
 
 class CoherenceDirectory {
  public:
@@ -52,21 +112,22 @@ class CoherenceDirectory {
 
   struct Entry {
     Addr line = 0;
-    std::uint64_t sharers = 0;  ///< all valid holders; 0 marks an empty slot
-    CoreId owner = kNoOwner;    ///< the M/E holder, if any
+    SharerMask sharers;       ///< all valid holders; empty marks a free slot
+    CoreId owner = kNoOwner;  ///< the M/E holder, if any
     MesiState owner_state = MesiState::kInvalid;
   };
 
   /// `max_lines` is the worst-case number of simultaneously tracked lines
   /// (num_cores * lines-per-L2 for an inclusive hierarchy); the table sizes
   /// itself for small worst cases and grows on demand toward large ones.
-  CoherenceDirectory(std::uint32_t num_cores, std::uint64_t max_lines);
+  CoherenceDirectory(const SocketTopology& topo, std::uint32_t num_cores,
+                     std::uint64_t max_lines);
 
   /// O(1) lookup: the record for `line`, or nullptr if no private L2 holds
   /// it. The returned pointer is invalidated by the next state change.
   const Entry* lookup(Addr line) const {
     const std::size_t slot = find_slot(line);
-    return slots_[slot].sharers != 0 ? &slots_[slot] : nullptr;
+    return slots_[slot].sharers.any() ? &slots_[slot] : nullptr;
   }
 
   /// Applies one L2 line transition (wired into Cache::set_line_event_hook;
@@ -80,18 +141,16 @@ class CoherenceDirectory {
   template <typename F>
   void for_each(F&& visit) const {
     for (const Entry& e : slots_)
-      if (e.sharers != 0) visit(e);
+      if (e.sharers.any()) visit(e);
   }
 
-  static constexpr std::uint64_t bit_of(CoreId core) {
-    return std::uint64_t{1} << core;
-  }
+  const SharerIndex& index() const { return idx_; }
 
  private:
   std::size_t find_slot(Addr line) const {
     std::size_t i =
         static_cast<std::size_t>((line * 0x9E3779B97F4A7C15ull) >> shift_);
-    while (slots_[i].sharers != 0 && slots_[i].line != line)
+    while (slots_[i].sharers.any() && slots_[i].line != line)
       i = (i + 1) & mask_;
     return i;
   }
@@ -102,6 +161,7 @@ class CoherenceDirectory {
   /// Doubles capacity and rehashes every live entry (amortized O(1)).
   void grow();
 
+  SharerIndex idx_;
   std::vector<Entry> slots_;
   std::size_t mask_ = 0;   ///< capacity - 1 (capacity is a power of two)
   unsigned shift_ = 0;     ///< 64 - log2(capacity), for the fibonacci hash

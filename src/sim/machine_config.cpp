@@ -1,17 +1,14 @@
 #include "sim/machine_config.hpp"
 
-#include "sim/directory.hpp"
+#include <string>
+
 #include "util/check.hpp"
 
 namespace fsml::sim {
 
 void MachineConfig::validate() const {
   FSML_CHECK(num_cores >= 1);
-  FSML_CHECK_MSG(num_cores <= kMaxDirectoryCores,
-                 "the coherence directory's sharer bitmask caps the "
-                 "simulator at 64 cores");
-  FSML_CHECK_MSG(cores_per_socket == 0 || cores_per_socket <= num_cores,
-                 "cores_per_socket exceeds core count");
+  topology.validate(num_cores);
   l1d.validate();
   l2.validate();
   l3.validate();
@@ -38,7 +35,20 @@ MachineConfig MachineConfig::westmere_dp(std::uint32_t cores) {
 MachineConfig MachineConfig::westmere_dp_2s() {
   MachineConfig cfg = westmere_dp(12);
   cfg.name = "westmere-dp-x5690-2x6";
-  cfg.cores_per_socket = 6;
+  cfg.topology = {2, 6};
+  cfg.validate();
+  return cfg;
+}
+
+MachineConfig MachineConfig::numa(std::uint32_t sockets,
+                                  std::uint32_t cores_per_socket) {
+  MachineConfig cfg = westmere_dp(12);
+  cfg.num_cores = sockets * cores_per_socket;
+  cfg.name = "numa-" + std::to_string(sockets) + "x" +
+             std::to_string(cores_per_socket);
+  cfg.topology = {sockets, cores_per_socket};
+  // Per-socket L3 and memory controller; keep the per-socket L3 at the
+  // Westmere 12 MiB so socket-local behavior matches the base part.
   cfg.validate();
   return cfg;
 }

@@ -7,16 +7,18 @@
 
 #include "sim/cycle_model.hpp"
 #include "sim/geometry.hpp"
+#include "sim/topology.hpp"
 
 namespace fsml::sim {
 
 struct MachineConfig {
   std::string name = "generic";
   std::uint32_t num_cores = 12;
-  /// Cores per socket; 0 means all cores share one socket (and one L3).
-  /// Multi-socket machines get one L3 per socket and pay the QPI hop for
-  /// cross-socket coherence transfers.
-  std::uint32_t cores_per_socket = 0;
+  /// Socket layout. The default ({1, 0}) puts every core on one socket.
+  /// Multi-socket machines get one L3 and one memory controller per
+  /// socket; cross-socket coherence transfers pay the QPI wire hop plus a
+  /// home-agent directory lookup, and remote DRAM costs extra.
+  SocketTopology topology;
 
   CacheGeometry l1d{32 * 1024, 8, 64};
   CacheGeometry l2{256 * 1024, 8, 64};
@@ -56,6 +58,13 @@ struct MachineConfig {
   /// The 32-core Xeon used for the paper's Table 1 motivation experiment.
   /// Modelled as Westmere-class cores with a larger shared LLC.
   static MachineConfig xeon32(std::uint32_t cores = 32);
+
+  /// A wide NUMA machine: `sockets` x `cores_per_socket` Westmere-class
+  /// cores, one L3 and one memory controller per socket. This is the
+  /// 128/256-core scenario family the paper's single-socket hardware could
+  /// never express (up to 4 sockets x 64 cores).
+  static MachineConfig numa(std::uint32_t sockets,
+                            std::uint32_t cores_per_socket);
 
   /// Tiny machine for fast unit tests (2 cores, small caches).
   static MachineConfig tiny(std::uint32_t cores = 2);

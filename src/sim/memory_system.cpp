@@ -16,7 +16,8 @@ MachineConfig validated(MachineConfig config) {
 
 MemorySystem::MemorySystem(const MachineConfig& config)
     : config_(validated(config)),
-      dir_(config_.num_cores,
+      sharer_index_(config_.topology),
+      dir_(config_.topology, config_.num_cores,
            std::uint64_t{config_.num_cores} * config_.l2.num_lines()) {
   nodes_.reserve(config_.num_cores);
   for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
@@ -30,15 +31,17 @@ MemorySystem::MemorySystem(const MachineConfig& config)
     // &node stays valid for the lifetime of the MemorySystem.)
     node.l2.set_line_event_hook(&MemorySystem::l2_line_event, &node);
   }
-  const std::uint32_t sockets =
-      config_.cores_per_socket == 0
-          ? 1
-          : (config_.num_cores + config_.cores_per_socket - 1) /
-                config_.cores_per_socket;
+  const std::uint32_t sockets = config_.topology.sockets;
   for (std::uint32_t sock = 0; sock < sockets; ++sock)
     l3s_.emplace_back(config_.l3);
-  dram_banks_.resize(std::max<std::uint32_t>(config_.cycles.dram_banks, 1));
-  dram_demand_banks_.resize(dram_banks_.size());
+  // One memory controller per socket; lines are homed by page interleave.
+  dram_.resize(sockets);
+  const std::size_t banks =
+      std::max<std::uint32_t>(config_.cycles.dram_banks, 1);
+  for (DramController& ctl : dram_) {
+    ctl.banks.resize(banks);
+    ctl.demand_banks.resize(banks);
+  }
 }
 
 const RawCounters& MemorySystem::counters(CoreId core) const {
@@ -273,14 +276,13 @@ AccessResult MemorySystem::access_line(CoreId core, Addr line,
       // Every holder except ourselves gets invalidated, in core order (the
       // same order the peer scan visited them). Snapshot the mask first:
       // snoop_peer mutates the directory entry as peers drop the line.
-      const std::uint64_t peers =
-          line_holders(line).sharers & ~CoherenceDirectory::bit_of(core);
-      for (std::uint64_t m = peers; m != 0; m &= m - 1) {
-        const CoreId peer = static_cast<CoreId>(std::countr_zero(m));
+      SharerMask peers = line_holders(line).sharers;
+      sharer_index_.clear(peers, core);
+      sharer_index_.for_each(peers, [&](CoreId peer) {
         snoop_peer(peer, line, /*for_ownership=*/true);
         count(core, RawEvent::kInvalidationsSent, 1);
         if (socket_of(peer) != socket_of(core)) remote_sharer = true;
-      }
+      });
       invalidate_other_l3s(socket_of(core), line);
       node.l2.set_state(line, MesiState::kModified);
       if (node.l1.contains(line))
@@ -289,7 +291,7 @@ AccessResult MemorySystem::access_line(CoreId core, Addr line,
       drain_latency = cm.upgrade;
       if (remote_sharer) {
         count(core, RawEvent::kCrossSocketTransfers, 1);
-        drain_latency += cm.qpi_hop;
+        drain_latency += cm.cross_socket_hop();
       }
     } else {
       count(core, RawEvent::kL2DemandIState, 1);
@@ -373,11 +375,11 @@ void MemorySystem::maybe_stream_prefetch(CoreId core, Addr line, Cycles now,
     const LineHolders holders = line_holders(target);
     const bool owned_elsewhere =
         holders.owner != CoherenceDirectory::kNoOwner && holders.owner != core;
-    std::uint64_t s_mask =
-        holders.sharers & ~CoherenceDirectory::bit_of(core);
+    SharerMask s_mask = holders.sharers;
+    sharer_index_.clear(s_mask, core);
     if (holders.owner != CoherenceDirectory::kNoOwner)
-      s_mask &= ~CoherenceDirectory::bit_of(holders.owner);
-    const bool shared_elsewhere = s_mask != 0;
+      sharer_index_.clear(s_mask, holders.owner);
+    const bool shared_elsewhere = s_mask.any();
     if (owned_elsewhere) continue;
     Cache& local_l3 = l3s_[socket_of(core)];
     if (!local_l3.contains(target)) {
@@ -390,6 +392,11 @@ void MemorySystem::maybe_stream_prefetch(CoreId core, Addr line, Cycles now,
         continue;
       count(core, RawEvent::kHwPrefetchesIssued, 1);
       count(core, RawEvent::kDramReads, 1);
+      count(core,
+            dram_home_socket(target) == socket_of(core)
+                ? RawEvent::kDramReadsLocal
+                : RawEvent::kDramReadsRemote,
+            1);
       fill_l3(socket_of(core), target, MesiState::kExclusive);
     } else {
       count(core, RawEvent::kHwPrefetchesIssued, 1);
@@ -409,6 +416,9 @@ void MemorySystem::maybe_stream_prefetch(CoreId core, Addr line, Cycles now,
 
 Cycles MemorySystem::dram_queue_delay(Cycles now, Addr line, bool demand) {
   const Addr row = line / config_.cycles.dram_row_bytes;
+  // The line's home socket owns the servicing controller: NUMA machines
+  // split their DRAM bandwidth across one controller per socket.
+  DramController& ctl = dram_[dram_home_socket(line)];
   // Banks interleave at 512-byte granularity: a prefetch burst (8
   // consecutive lines) lands on one bank as a single row activation plus
   // row hits, successive bursts rotate banks, and no stream can monopolize
@@ -416,7 +426,7 @@ Cycles MemorySystem::dram_queue_delay(Cycles now, Addr line, bool demand) {
   // bank interleave functions sitting between line and row granularity.
   constexpr Addr kBankInterleaveBytes = 512;
   const std::size_t bank_index =
-      (line / kBankInterleaveBytes) % dram_banks_.size();
+      (line / kBankInterleaveBytes) % ctl.banks.size();
 
   const auto occupy = [&](DramBank& bank, Cycles& bus_free) -> Cycles {
     const bool row_hit = bank.open_row == row;
@@ -435,14 +445,14 @@ Cycles MemorySystem::dram_queue_delay(Cycles now, Addr line, bool demand) {
     // bounded; a saturated channel sheds prefetches one by one (duty-cycled
     // prefetching) instead of building an unbounded backlog, and resumes as
     // soon as the queue drains.
-    DramBank& bank = dram_banks_[bank_index];
-    const Cycles start = std::max({now, bank.free_at, dram_bus_free_});
+    DramBank& bank = ctl.banks[bank_index];
+    const Cycles start = std::max({now, bank.free_at, ctl.bus_free});
     if (start - now > kPrefetchAdmissionWindow) return kPrefetchDropped;
-    return occupy(bank, dram_bus_free_);
+    return occupy(bank, ctl.bus_free);
   }
   // Demand traffic has its own service domain (FR-FCFS reserves service
   // share for demand; a prefetch backlog can never delay it).
-  return occupy(dram_demand_banks_[bank_index], dram_demand_bus_free_);
+  return occupy(ctl.demand_banks[bank_index], ctl.demand_bus_free);
 }
 
 MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
@@ -457,15 +467,17 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
   const LineHolders holders = line_holders(line);
   const CoreId owner = holders.owner;
   const MesiState owner_state = holders.owner_state;
-  FSML_DCHECK((holders.sharers & CoherenceDirectory::bit_of(core)) == 0);
-  std::uint64_t sharer_mask = holders.sharers;
+  FSML_DCHECK(!sharer_index_.test(holders.sharers, core));
+  SharerMask sharer_mask = holders.sharers;
   if (owner != CoherenceDirectory::kNoOwner)
-    sharer_mask &= ~CoherenceDirectory::bit_of(owner);
+    sharer_index_.clear(sharer_mask, owner);
 
+  // Cross-socket transfers pay the QPI wire hop plus the home agent's
+  // directory lookup (cross_socket_hop()).
   const auto qpi_extra = [&](std::uint32_t other_socket) -> Cycles {
     if (other_socket == my_socket) return 0;
     count(core, RawEvent::kCrossSocketTransfers, 1);
-    return config_.cycles.qpi_hop;
+    return config_.cycles.cross_socket_hop();
   };
 
   if (owner_state == MesiState::kModified) {
@@ -482,6 +494,10 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
       fill_l3(my_socket, line, MesiState::kShared);
     }
     count(core, RawEvent::kHitmTransfersIn, 1);
+    count(core,
+          owner_socket == my_socket ? RawEvent::kHitmTransfersLocal
+                                    : RawEvent::kHitmTransfersRemote,
+          1);
     return {ServiceLevel::kPeerHitM,
             want_ownership ? MesiState::kModified : MesiState::kShared,
             qpi_extra(owner_socket)};
@@ -516,24 +532,36 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
       }
     }
     if (!found) {
-      // Not cached anywhere: fetch from DRAM into our socket's L3.
+      // Not cached anywhere: fetch from the line's home memory controller
+      // into our socket's L3. A remote home adds the interconnect hop and
+      // the remote-read penalty on top of the (home-side) queueing delay.
+      const std::uint32_t dram_home = dram_home_socket(line);
       count(core, RawEvent::kL3Miss, 1);
       count(core, RawEvent::kDramReads, 1);
+      count(core,
+            dram_home == my_socket ? RawEvent::kDramReadsLocal
+                                   : RawEvent::kDramReadsRemote,
+            1);
       fill_l3(my_socket, line, MesiState::kExclusive);
+      Cycles extra = dram_queue_delay(now, line);
+      if (dram_home != my_socket) {
+        count(core, RawEvent::kCrossSocketTransfers, 1);
+        extra +=
+            config_.cycles.cross_socket_hop() + config_.cycles.dram_remote_extra;
+      }
       return {ServiceLevel::kDram,
               want_ownership ? MesiState::kModified : MesiState::kExclusive,
-              dram_queue_delay(now, line)};
+              extra};
     }
     count(core, RawEvent::kRemoteL3Hits, 1);
   }
   count(core, RawEvent::kL3Hit, 1);
 
   if (want_ownership) {
-    for (std::uint64_t m = sharer_mask; m != 0; m &= m - 1) {
-      const CoreId peer = static_cast<CoreId>(std::countr_zero(m));
+    sharer_index_.for_each(sharer_mask, [&](CoreId peer) {
       snoop_peer(peer, line, /*for_ownership=*/true);
       count(core, RawEvent::kInvalidationsSent, 1);
-    }
+    });
     invalidate_other_l3s(my_socket, line);
     if (!l3s_[my_socket].contains(line))
       fill_l3(my_socket, line, MesiState::kExclusive);
@@ -543,7 +571,7 @@ MemorySystem::LineResult MemorySystem::service_request(CoreId core, Addr line,
   if (!l3s_[my_socket].contains(line))
     fill_l3(my_socket, line, MesiState::kShared);
   return {ServiceLevel::kL3,
-          sharer_mask == 0 ? MesiState::kExclusive : MesiState::kShared,
+          sharer_mask.none() ? MesiState::kExclusive : MesiState::kShared,
           qpi_extra(home_socket)};
 }
 
@@ -552,7 +580,7 @@ MemorySystem::LineHolders MemorySystem::scan_line_holders(Addr line) const {
   for (CoreId peer = 0; peer < nodes_.size(); ++peer) {
     const MesiState s = nodes_[peer].l2.state_of(line);
     if (s == MesiState::kInvalid) continue;
-    h.sharers |= CoherenceDirectory::bit_of(peer);
+    sharer_index_.set(h.sharers, peer);
     if (s == MesiState::kModified || s == MesiState::kExclusive) {
       FSML_DCHECK(h.owner == CoherenceDirectory::kNoOwner);
       h.owner = peer;
@@ -753,9 +781,10 @@ bool MemorySystem::check_coherence_invariant() const {
   if (!check_directory_invariant()) return false;
   bool ok = true;
   dir_.for_each([&](const CoherenceDirectory::Entry& e) {
-    if (e.owner != CoherenceDirectory::kNoOwner &&
-        (e.sharers & ~CoherenceDirectory::bit_of(e.owner)) != 0)
-      ok = false;
+    if (e.owner == CoherenceDirectory::kNoOwner) return;
+    SharerMask others = e.sharers;
+    sharer_index_.clear(others, e.owner);
+    if (others.any()) ok = false;
   });
   if (!ok) return false;
   for (const CoreNode& node : nodes_) {
@@ -776,8 +805,7 @@ bool MemorySystem::check_directory_invariant() const {
     nodes_[core].l2.for_each_line([&](Addr line, MesiState s) {
       ++resident;
       const CoherenceDirectory::Entry* e = dir_.lookup(line);
-      if (e == nullptr ||
-          (e->sharers & CoherenceDirectory::bit_of(core)) == 0) {
+      if (e == nullptr || !sharer_index_.test(e->sharers, core)) {
         ok = false;
         return;
       }
@@ -796,10 +824,10 @@ bool MemorySystem::check_directory_invariant() const {
   std::size_t entries = 0;
   dir_.for_each([&](const CoherenceDirectory::Entry& e) {
     ++entries;
-    tracked += static_cast<std::size_t>(std::popcount(e.sharers));
-    if (e.sharers == 0) ok = false;
+    tracked += static_cast<std::size_t>(e.sharers.count());
+    if (e.sharers.none()) ok = false;
     if (e.owner != CoherenceDirectory::kNoOwner &&
-        (e.sharers & CoherenceDirectory::bit_of(e.owner)) == 0)
+        !sharer_index_.test(e.sharers, e.owner))
       ok = false;
   });
   return ok && tracked == resident && entries == dir_.size();

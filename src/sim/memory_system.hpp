@@ -46,13 +46,21 @@ class MemorySystem {
   const MachineConfig& config() const { return config_; }
   std::uint32_t num_cores() const { return config_.num_cores; }
 
-  /// Socket topology: cores_per_socket == 0 means one socket.
+  /// Socket topology (one L3 and one memory controller per socket).
   std::uint32_t num_sockets() const {
     return static_cast<std::uint32_t>(l3s_.size());
   }
   std::uint32_t socket_of(CoreId core) const {
-    return config_.cores_per_socket == 0 ? 0
-                                         : core / config_.cores_per_socket;
+    return config_.topology.socket_of(core);
+  }
+
+  /// Home memory controller for `line`: pages interleave round-robin
+  /// across sockets (the default first-touch-free NUMA policy). On a
+  /// single-socket machine every line is local.
+  std::uint32_t dram_home_socket(Addr line) const {
+    const std::uint32_t sockets = num_sockets();
+    if (sockets == 1) return 0;
+    return static_cast<std::uint32_t>((line / config_.page_bytes) % sockets);
   }
 
   /// Performs one demand access from `core` at its local clock `now`.
@@ -160,7 +168,7 @@ class MemorySystem {
   struct LineHolders {
     CoreId owner = CoherenceDirectory::kNoOwner;
     MesiState owner_state = MesiState::kInvalid;
-    std::uint64_t sharers = 0;  ///< all valid holders, including the owner
+    SharerMask sharers;  ///< all valid holders, including the owner
   };
 
   /// Reference implementation: full linear scan over every core's L2.
@@ -170,8 +178,8 @@ class MemorySystem {
   /// reference scan; debug builds cross-validate the two on every call.
   LineHolders line_holders(Addr line) const;
 
-  /// Cycles of queueing delay at the shared DRAM channel for an access of
-  /// `line` issued at `now`; advances the channel's next-free time and
+  /// Cycles of queueing delay at `line`'s home-socket DRAM channel for an
+  /// access issued at `now`; advances that channel's next-free time and
   /// open-row state. Demand requests preempt queued prefetch traffic
   /// (FR-FCFS demand priority): their queueing delay is bounded by a couple
   /// of in-flight transfers, never the full prefetch backlog.
@@ -220,6 +228,7 @@ class MemorySystem {
   void record_fill_transition(CoreId core, MesiState state);
 
   MachineConfig config_;
+  SharerIndex sharer_index_;  ///< core -> (socket word, bit) mapping
   CoherenceDirectory dir_;  ///< per-line owner/sharer index over all L2s
   std::vector<CoreNode> nodes_;
   std::vector<Cache> l3s_;  ///< one per socket
@@ -235,10 +244,13 @@ class MemorySystem {
   // A prefetch backlog therefore can never land on a demand miss, and
   // refusing prefetches cannot spiral (demand does not consume the
   // prefetch share).
-  std::vector<DramBank> dram_banks_;         ///< prefetch service share
-  std::vector<DramBank> dram_demand_banks_;  ///< demand service share
-  Cycles dram_bus_free_ = 0;
-  Cycles dram_demand_bus_free_ = 0;
+  struct DramController {
+    std::vector<DramBank> banks;         ///< prefetch service share
+    std::vector<DramBank> demand_banks;  ///< demand service share
+    Cycles bus_free = 0;
+    Cycles demand_bus_free = 0;
+  };
+  std::vector<DramController> dram_;  ///< one controller per socket
   bool counting_ = true;
   std::vector<AccessObserver*> observers_;
 };

@@ -46,6 +46,8 @@ constexpr std::array<EventMeta, kNumRawEvents> kMeta = {{
     {"l3_hit", "Demand requests hitting the shared L3"},
     {"l3_miss", "Demand requests missing the shared L3"},
     {"dram_reads", "Lines read from memory"},
+    {"dram_reads_local", "DRAM reads homed on the requester's socket"},
+    {"dram_reads_remote", "DRAM reads homed on another socket"},
     {"dram_writes", "Lines written back to memory"},
     {"hw_prefetches_issued", "Stream-prefetcher requests sent offcore"},
     {"prefetch_fills_l2", "Prefetched lines installed into L2"},
@@ -59,6 +61,8 @@ constexpr std::array<EventMeta, kNumRawEvents> kMeta = {{
     {"invalidations_received", "Lines invalidated here by remote RFOs"},
 
     {"hitm_transfers_in", "Demand accesses serviced by a peer's M line"},
+    {"hitm_transfers_local", "HITM transfers from a same-socket peer"},
+    {"hitm_transfers_remote", "HITM transfers from a remote-socket peer"},
     {"clean_transfers_in", "Demand accesses serviced by a peer's S/E line"},
     {"rfo_upgrades", "Shared->Modified upgrades (invalidate-only RFO)"},
     {"invalidations_sent", "Invalidations broadcast by this core's RFOs"},

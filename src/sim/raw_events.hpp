@@ -55,6 +55,8 @@ enum class RawEvent : std::uint16_t {
   kL3Hit,
   kL3Miss,
   kDramReads,
+  kDramReadsLocal,        ///< DRAM reads whose home controller is local
+  kDramReadsRemote,       ///< DRAM reads homed on another socket
   kDramWrites,
   kHwPrefetchesIssued,    ///< stream-prefetcher requests sent offcore
   kPrefetchFillsL2,       ///< prefetched lines installed into L2
@@ -70,6 +72,8 @@ enum class RawEvent : std::uint16_t {
 
   // Requester-side coherence outcomes
   kHitmTransfersIn,       ///< demand access serviced by a peer's M line
+  kHitmTransfersLocal,    ///< HITM where the peer shares the socket
+  kHitmTransfersRemote,   ///< HITM where the peer sits on another socket
   kCleanTransfersIn,      ///< demand access serviced by a peer's S/E line
   kRfoUpgrades,           ///< S->M upgrades (invalidate-only RFO)
   kInvalidationsSent,

@@ -1,0 +1,74 @@
+// Socket topology of the simulated machine.
+//
+// The coherence directory's sharer set is hierarchical: one 64-bit word per
+// socket (inline array, at most kMaxSockets sockets), so the simulator
+// scales to kMaxSockets * kMaxCoresPerSocket = 256 cores while the
+// single-socket fast path stays exactly one word — bit-identical to the
+// pre-NUMA directory. Cores are numbered socket-contiguously: socket s owns
+// cores [s * cores_per_socket, (s+1) * cores_per_socket).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "util/check.hpp"
+
+namespace fsml::sim {
+
+/// The hierarchical sharer mask holds one inline word per socket.
+inline constexpr std::uint32_t kMaxSockets = 4;
+/// Each socket's sharer set is one 64-bit word.
+inline constexpr std::uint32_t kMaxCoresPerSocket = 64;
+/// Hard ceiling on simulated cores (4 sockets x 64 cores).
+inline constexpr std::uint32_t kMaxSimulatedCores =
+    kMaxSockets * kMaxCoresPerSocket;
+
+/// Socket layout of a machine: `sockets` sockets of `cores_per_socket`
+/// cores each, one shared L3 and one memory controller per socket.
+/// `cores_per_socket == 0` is the single-socket default: every core lives
+/// on socket 0 (and the 64-core single-word limit applies).
+struct SocketTopology {
+  std::uint32_t sockets = 1;
+  std::uint32_t cores_per_socket = 0;
+
+  std::uint32_t socket_of(CoreId core) const {
+    return cores_per_socket == 0 ? 0 : core / cores_per_socket;
+  }
+
+  bool multi_socket() const { return sockets > 1; }
+
+  friend bool operator==(const SocketTopology&,
+                         const SocketTopology&) = default;
+
+  /// Validates the layout against the machine's core count. Multi-socket
+  /// layouts must tile `num_cores` exactly: ragged last sockets would make
+  /// socket_of/home-node arithmetic silently wrong, so they are rejected.
+  void validate(std::uint32_t num_cores) const {
+    FSML_CHECK_MSG(sockets >= 1,
+                   "a machine needs at least one socket (sockets=0)");
+    FSML_CHECK_MSG(sockets <= kMaxSockets,
+                   "the hierarchical sharer mask holds one inline word per "
+                   "socket and caps the machine at 4 sockets");
+    if (cores_per_socket == 0) {
+      FSML_CHECK_MSG(sockets == 1,
+                     "cores_per_socket=0 means one socket holding every "
+                     "core; set cores_per_socket for a multi-socket layout");
+      FSML_CHECK_MSG(num_cores <= kMaxCoresPerSocket,
+                     "a single socket's sharer word caps at 64 cores; use "
+                     "SocketTopology{sockets, cores_per_socket} to go wider");
+      return;
+    }
+    FSML_CHECK_MSG(cores_per_socket <= kMaxCoresPerSocket,
+                   "the per-socket sharer word caps cores_per_socket at 64");
+    const std::uint32_t needed =
+        (num_cores + cores_per_socket - 1) / cores_per_socket;
+    FSML_CHECK_MSG(sockets == needed,
+                   "socket count does not match num_cores / cores_per_socket "
+                   "(every core must map onto exactly one socket)");
+    FSML_CHECK_MSG(sockets == 1 || num_cores % cores_per_socket == 0,
+                   "ragged sockets are unsupported: num_cores must be a "
+                   "multiple of cores_per_socket on multi-socket machines");
+  }
+};
+
+}  // namespace fsml::sim

@@ -81,8 +81,19 @@ TrainerRun run_trainer(const MiniProgram& program, const TrainerParams& params,
                  "program has no bad-ma variant");
 
   sim::MachineConfig config = base_config;
-  config.num_cores = params.threads;
+  if (!config.topology.multi_socket()) {
+    // Single-socket base: size the machine to the thread count, exactly as
+    // before the NUMA work (the bit-identity contract covers this path).
+    config.num_cores = params.threads;
+  } else {
+    // Multi-socket base: keep the full topology — shrinking it would change
+    // which sockets exist — and place threads on its cores per
+    // params.placement.
+    FSML_CHECK_MSG(params.threads <= config.num_cores,
+                   "more threads than the multi-socket machine has cores");
+  }
   exec::Machine machine(config, params.seed);
+  machine.set_thread_placement(params.placement);
   machine.set_cancel_flag(params.cancel);
   program.build(machine, params);
   FSML_CHECK(machine.num_threads() == params.threads);

@@ -53,6 +53,10 @@ struct TrainerParams {
   AccessPattern pattern = AccessPattern::kStrided;  ///< used in bad-ma mode
   std::uint64_t stride = 16;      ///< elements, for kStrided
   std::uint64_t seed = 1;
+  /// Thread-to-socket pinning on multi-socket machines: packed fills socket
+  /// 0 first (default, matches single-socket behavior), scatter round-robins
+  /// threads across sockets so per-thread data contends over QPI.
+  exec::ThreadPlacement placement = exec::ThreadPlacement::kPacked;
   /// Cooperative cancellation flag wired into Machine::set_cancel_flag()
   /// (per-job deadlines under par::Supervisor). Must outlive the run;
   /// nullptr disables polling.

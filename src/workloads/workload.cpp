@@ -91,8 +91,15 @@ WorkloadRun run_workload(const Workload& workload, const WorkloadCase& wcase,
                          sim::AccessObserver* observer) {
   FSML_CHECK(wcase.threads >= 1);
   sim::MachineConfig config = base_config;
-  config.num_cores = wcase.threads;
+  if (!config.topology.multi_socket()) {
+    // Single-socket base: one core per thread, as before the NUMA work.
+    config.num_cores = wcase.threads;
+  } else {
+    FSML_CHECK_MSG(wcase.threads <= config.num_cores,
+                   "more threads than the multi-socket machine has cores");
+  }
   exec::Machine machine(config, wcase.seed);
+  machine.set_thread_placement(wcase.placement);
   if (observer) machine.memory().add_observer(observer);
   workload.build(machine, wcase);
   FSML_CHECK(machine.num_threads() == wcase.threads);

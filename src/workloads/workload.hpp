@@ -50,6 +50,9 @@ struct WorkloadCase {
   OptLevel opt = OptLevel::kO2;
   std::uint32_t threads = 4;
   std::uint64_t seed = 1;
+  /// Thread-to-socket pinning on multi-socket machines (no effect on the
+  /// single-socket default).
+  exec::ThreadPlacement placement = exec::ThreadPlacement::kPacked;
 };
 
 class Workload {

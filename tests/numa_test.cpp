@@ -1,0 +1,329 @@
+// NUMA multi-socket tests.
+//
+// Three suites pin down the 64-core-wall break:
+//  * NumaValidation — the new topology limits: >64 cores accepted across
+//    sockets, >64 cores per socket rejected, 0-socket/ragged/mismatched
+//    layouts rejected with actionable messages.
+//  * NumaBitIdentity — the regression gate the tentpole demands: an
+//    explicit 1-socket SocketTopology is byte-identical to the pre-change
+//    single-socket default (per-access latencies, RawCounters, and
+//    reduced-collection training-cache bytes at jobs=1 and jobs=4).
+//  * NumaCycleModel / NumaPlacement — the NUMA cost model's ordering
+//    properties (remote HITM > local HITM, remote DRAM > local DRAM) and
+//    the cross-socket false-sharing gap exceeding its intra-socket twin,
+//    plus scatter/packed thread pinning through exec::Machine and the
+//    trainer layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/training.hpp"
+#include "exec/machine.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/memory_system.hpp"
+#include "trainers/trainer.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fsml;
+using sim::AccessType;
+using sim::RawEvent;
+
+// A line whose page index is even: homed on socket 0 under the page
+// round-robin policy (and on the only socket of a 1-socket machine).
+constexpr sim::Addr kHome0Line = 0x20000;
+// A line in the next (odd) page: homed on socket 1 on a 2-socket machine.
+constexpr sim::Addr kHome1Line = 0x21000;
+
+// ---- NumaValidation --------------------------------------------------------
+
+std::string validation_error(const sim::MachineConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const util::CheckFailure& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(NumaValidation, AcceptsMoreThan64CoresAcrossSockets) {
+  // The old single-word sharer mask rejected num_cores > 64 outright; the
+  // hierarchical mask accepts up to 4 sockets x 64 cores.
+  const auto two = sim::MachineConfig::numa(2, 48);  // 96 cores
+  EXPECT_EQ(two.num_cores, 96u);
+  sim::MemorySystem mem(two);
+  EXPECT_EQ(mem.num_sockets(), 2u);
+  EXPECT_EQ(mem.socket_of(47), 0u);
+  EXPECT_EQ(mem.socket_of(48), 1u);
+
+  const auto four = sim::MachineConfig::numa(4, 64);  // 256 cores
+  EXPECT_EQ(four.num_cores, 256u);
+  EXPECT_EQ(validation_error(four), "");
+}
+
+TEST(NumaValidation, RejectsMoreThan64CoresPerSocket) {
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(2);
+  cfg.num_cores = 130;
+  cfg.topology = {2, 65};
+  const std::string msg = validation_error(cfg);
+  EXPECT_NE(msg.find("64"), std::string::npos) << msg;
+  EXPECT_THROW(sim::MemorySystem mem(cfg), util::CheckFailure);
+}
+
+TEST(NumaValidation, RejectsSingleSocketBeyondTheSharerWord) {
+  // The pre-NUMA limit survives per socket: a default (one-socket) config
+  // still caps at 64 cores, and the message points at SocketTopology.
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(2);
+  cfg.num_cores = 65;
+  const std::string msg = validation_error(cfg);
+  EXPECT_NE(msg.find("SocketTopology"), std::string::npos) << msg;
+  EXPECT_THROW(sim::MemorySystem mem(cfg), util::CheckFailure);
+}
+
+TEST(NumaValidation, RejectsZeroSockets) {
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(4);
+  cfg.topology = {0, 4};
+  const std::string msg = validation_error(cfg);
+  EXPECT_NE(msg.find("at least one socket"), std::string::npos) << msg;
+}
+
+TEST(NumaValidation, RejectsMoreThanFourSockets) {
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(10);
+  cfg.topology = {5, 2};
+  const std::string msg = validation_error(cfg);
+  EXPECT_NE(msg.find("4 sockets"), std::string::npos) << msg;
+}
+
+TEST(NumaValidation, RejectsRaggedSockets) {
+  // 9 cores on 2x6 would leave the second socket ragged (6 + 3).
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(4);
+  cfg.num_cores = 9;
+  cfg.topology = {2, 6};
+  const std::string msg = validation_error(cfg);
+  EXPECT_NE(msg.find("multiple of cores_per_socket"), std::string::npos)
+      << msg;
+}
+
+TEST(NumaValidation, RejectsSocketCountMismatch) {
+  // 6 cores fit on one 6-core socket; claiming 2 sockets is inconsistent.
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(6);
+  cfg.topology = {2, 6};
+  const std::string msg = validation_error(cfg);
+  EXPECT_NE(msg.find("socket count"), std::string::npos) << msg;
+}
+
+// ---- NumaBitIdentity -------------------------------------------------------
+
+TEST(NumaBitIdentity, ExplicitOneSocketTopologyMatchesDefaultPerAccess) {
+  // A SocketTopology{1, cores} machine must be indistinguishable from the
+  // pre-change default ({1, 0}): identical per-access latencies, service
+  // levels, DTLB outcomes, and every per-core raw counter over a random
+  // multi-core trace.
+  const sim::MachineConfig base = sim::MachineConfig::tiny(4);
+  sim::MachineConfig explicit_cfg = base;
+  explicit_cfg.topology = {1, 4};
+  sim::MemorySystem def(base);
+  sim::MemorySystem one(explicit_cfg);
+  util::Rng rng(123);
+  for (int op = 0; op < 4000; ++op) {
+    const auto core = static_cast<sim::CoreId>(rng.next_below(4));
+    const sim::Addr addr = 0x8000 + rng.next_below(384) * 16;
+    const auto type = static_cast<AccessType>(rng.next_below(3));
+    const auto now = static_cast<sim::Cycles>(op) * 5;
+    const auto a = def.access(core, addr, 8, type, now);
+    const auto b = one.access(core, addr, 8, type, now);
+    ASSERT_EQ(a.latency, b.latency) << "op " << op;
+    ASSERT_EQ(a.level, b.level) << "op " << op;
+    ASSERT_EQ(a.dtlb_miss, b.dtlb_miss) << "op " << op;
+  }
+  for (sim::CoreId c = 0; c < 4; ++c)
+    for (std::size_t e = 0; e < sim::kNumRawEvents; ++e)
+      ASSERT_EQ(def.counters(c).get(static_cast<RawEvent>(e)),
+                one.counters(c).get(static_cast<RawEvent>(e)))
+          << "core " << c << " event "
+          << sim::raw_event_name(static_cast<RawEvent>(e));
+}
+
+TEST(NumaBitIdentity, SingleSocketHasNoRemoteTraffic) {
+  // On one socket, every HITM and every DRAM read must be classified local.
+  sim::MemorySystem mem(sim::MachineConfig::tiny(4));
+  util::Rng rng(5);
+  for (int op = 0; op < 2000; ++op)
+    mem.access(static_cast<sim::CoreId>(rng.next_below(4)),
+               0x8000 + rng.next_below(256) * 32, 8,
+               static_cast<AccessType>(rng.next_below(3)),
+               static_cast<sim::Cycles>(op) * 3);
+  const sim::RawCounters total = mem.aggregate_counters();
+  EXPECT_GT(total.get(RawEvent::kHitmTransfersIn), 0u);
+  EXPECT_EQ(total.get(RawEvent::kHitmTransfersLocal),
+            total.get(RawEvent::kHitmTransfersIn));
+  EXPECT_EQ(total.get(RawEvent::kHitmTransfersRemote), 0u);
+  EXPECT_EQ(total.get(RawEvent::kDramReadsLocal),
+            total.get(RawEvent::kDramReads));
+  EXPECT_EQ(total.get(RawEvent::kDramReadsRemote), 0u);
+}
+
+TEST(NumaBitIdentity, OneSocketTopologyDoesNotChangeCacheBytes) {
+  // The reduced collection grid must serialize to the exact same
+  // training-cache bytes whether the machine uses the pre-change default
+  // topology (jobs=1 baseline) or an explicit 1-socket SocketTopology — at
+  // jobs=1 and at jobs=4.
+  core::TrainingConfig baseline = core::TrainingConfig::reduced();
+  baseline.thread_counts = {3};
+  baseline.jobs = 1;
+  const core::TrainingData def = core::collect_training_data(baseline);
+  std::stringstream def_csv;
+  def.save_csv(def_csv);
+
+  for (const unsigned jobs : {1u, 4u}) {
+    core::TrainingConfig explicit_cfg = baseline;
+    explicit_cfg.machine.topology = {1, 64};
+    explicit_cfg.jobs = jobs;
+    const core::TrainingData one = core::collect_training_data(explicit_cfg);
+    std::stringstream one_csv;
+    one.save_csv(one_csv);
+    ASSERT_EQ(one.instances.size(), def.instances.size()) << "jobs " << jobs;
+    EXPECT_EQ(one_csv.str(), def_csv.str()) << "jobs " << jobs;
+  }
+}
+
+// ---- NumaCycleModel --------------------------------------------------------
+
+TEST(NumaCycleModel, RemoteHitmStrictlyCostlierThanLocalHitm) {
+  const auto cfg = sim::MachineConfig::numa(2, 2);  // cores 0,1 | 2,3
+  sim::MemorySystem mem(cfg);
+
+  mem.access(0, kHome0Line, 8, AccessType::kStore, 0);  // M on core 0
+  const auto local = mem.access(1, kHome0Line, 8, AccessType::kLoad, 5000);
+
+  mem.access(0, kHome0Line + 0x4000, 8, AccessType::kStore, 10000);
+  const auto remote =
+      mem.access(2, kHome0Line + 0x4000, 8, AccessType::kLoad, 15000);
+
+  ASSERT_EQ(local.level, sim::ServiceLevel::kPeerHitM);
+  ASSERT_EQ(remote.level, sim::ServiceLevel::kPeerHitM);
+  EXPECT_GT(remote.latency, local.latency);
+  // The gap is exactly the interconnect: QPI wire hop + home-agent lookup.
+  EXPECT_GE(remote.latency, local.latency + cfg.cycles.cross_socket_hop());
+
+  EXPECT_EQ(mem.counters(1).get(RawEvent::kHitmTransfersLocal), 1u);
+  EXPECT_EQ(mem.counters(1).get(RawEvent::kHitmTransfersRemote), 0u);
+  EXPECT_EQ(mem.counters(2).get(RawEvent::kHitmTransfersLocal), 0u);
+  EXPECT_EQ(mem.counters(2).get(RawEvent::kHitmTransfersRemote), 1u);
+}
+
+TEST(NumaCycleModel, RemoteDramStrictlyCostlierThanLocalDram) {
+  const auto cfg = sim::MachineConfig::numa(2, 2);
+  // Fresh machines so the DRAM channel state cannot skew the comparison.
+  sim::MemorySystem local_mem(cfg);
+  sim::MemorySystem remote_mem(cfg);
+
+  // Core 0 (socket 0) cold-reads a socket-0-homed and a socket-1-homed
+  // line; both are pure DRAM fetches.
+  const auto local = local_mem.access(0, kHome0Line, 8, AccessType::kLoad, 0);
+  const auto remote =
+      remote_mem.access(0, kHome1Line, 8, AccessType::kLoad, 0);
+
+  ASSERT_EQ(local.level, sim::ServiceLevel::kDram);
+  ASSERT_EQ(remote.level, sim::ServiceLevel::kDram);
+  EXPECT_GT(remote.latency, local.latency);
+  EXPECT_EQ(remote.latency, local.latency + cfg.cycles.cross_socket_hop() +
+                                cfg.cycles.dram_remote_extra);
+
+  EXPECT_EQ(local_mem.counters(0).get(RawEvent::kDramReadsLocal), 1u);
+  EXPECT_EQ(local_mem.counters(0).get(RawEvent::kDramReadsRemote), 0u);
+  EXPECT_EQ(remote_mem.counters(0).get(RawEvent::kDramReadsLocal), 0u);
+  EXPECT_EQ(remote_mem.counters(0).get(RawEvent::kDramReadsRemote), 1u);
+}
+
+// Two threads false-sharing one line (bad) or writing padded lines (good),
+// placed either on one socket (packed) or across sockets (scatter).
+sim::Cycles run_fs_pair(exec::ThreadPlacement placement, bool false_share) {
+  exec::Machine m(sim::MachineConfig::numa(2, 2), /*seed=*/7);
+  m.set_thread_placement(placement);
+  const sim::Addr base = m.arena().alloc_page_aligned(4096);
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    const sim::Addr slot = false_share ? base + 8 * t : base + 256 * t;
+    m.spawn([=](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (int i = 0; i < 400; ++i) {
+        co_await ctx.rmw(slot);
+        ctx.compute(2);
+      }
+    });
+  }
+  return m.run().total_cycles;
+}
+
+TEST(NumaCycleModel, CrossSocketFalseSharingGapExceedsIntraSocket) {
+  // The good/bad cycle gap of the false-sharing mini-program must widen
+  // when the two threads sit on different sockets: every ping-pong HITM
+  // then rides the interconnect.
+  const sim::Cycles intra_good =
+      run_fs_pair(exec::ThreadPlacement::kPacked, false);
+  const sim::Cycles intra_bad =
+      run_fs_pair(exec::ThreadPlacement::kPacked, true);
+  const sim::Cycles cross_good =
+      run_fs_pair(exec::ThreadPlacement::kScatter, false);
+  const sim::Cycles cross_bad =
+      run_fs_pair(exec::ThreadPlacement::kScatter, true);
+
+  ASSERT_GT(intra_bad, intra_good);
+  ASSERT_GT(cross_bad, cross_good);
+  EXPECT_GT(cross_bad - cross_good, intra_bad - intra_good);
+}
+
+// ---- NumaPlacement ---------------------------------------------------------
+
+TEST(NumaPlacement, ScatterRoundRobinsThreadsAcrossSockets) {
+  exec::Machine m(sim::MachineConfig::numa(2, 2), 1);
+  m.set_thread_placement(exec::ThreadPlacement::kScatter);
+  for (int t = 0; t < 4; ++t)
+    m.spawn([](exec::ThreadCtx& ctx) -> exec::SimTask {
+      co_await ctx.load(0x8000);
+    });
+  EXPECT_EQ(m.core_of_thread(0), 0u);  // socket 0
+  EXPECT_EQ(m.core_of_thread(1), 2u);  // socket 1
+  EXPECT_EQ(m.core_of_thread(2), 1u);  // socket 0
+  EXPECT_EQ(m.core_of_thread(3), 3u);  // socket 1
+}
+
+TEST(NumaPlacement, PackedIsTheDefaultAndFillsSocketZeroFirst) {
+  exec::Machine m(sim::MachineConfig::numa(2, 2), 1);
+  ASSERT_EQ(m.thread_placement(), exec::ThreadPlacement::kPacked);
+  for (int t = 0; t < 3; ++t)
+    m.spawn([](exec::ThreadCtx& ctx) -> exec::SimTask {
+      co_await ctx.load(0x8000);
+    });
+  EXPECT_EQ(m.core_of_thread(0), 0u);
+  EXPECT_EQ(m.core_of_thread(1), 1u);
+  EXPECT_EQ(m.core_of_thread(2), 2u);
+}
+
+TEST(NumaPlacement, TrainerScatterKnobMovesFalseSharingAcrossSockets) {
+  // The trainer-level pinning knob: two bad-fs threads on a 2x2 machine
+  // ping-pong within socket 0 when packed, across QPI when scattered.
+  const auto base = sim::MachineConfig::numa(2, 2);
+  trainers::TrainerParams params;
+  params.mode = trainers::Mode::kBadFs;
+  params.threads = 2;
+  params.size = 4096;
+
+  params.placement = exec::ThreadPlacement::kPacked;
+  const auto packed =
+      trainers::run_trainer(trainers::find_program("pdot"), params, base);
+  params.placement = exec::ThreadPlacement::kScatter;
+  const auto scatter =
+      trainers::run_trainer(trainers::find_program("pdot"), params, base);
+
+  EXPECT_GT(packed.raw.get(RawEvent::kHitmTransfersLocal), 0u);
+  EXPECT_EQ(packed.raw.get(RawEvent::kHitmTransfersRemote), 0u);
+  EXPECT_GT(scatter.raw.get(RawEvent::kHitmTransfersRemote), 0u);
+  // The scattered run is strictly slower: the same sharing pattern now
+  // pays the interconnect on every transfer.
+  EXPECT_GT(scatter.result.total_cycles, packed.result.total_cycles);
+}
+
+}  // namespace

@@ -289,14 +289,14 @@ TEST(Directory, TracksOwnerAndSharersThroughProtocolTransitions) {
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->owner, 0u);
   EXPECT_EQ(e->owner_state, MesiState::kModified);
-  EXPECT_EQ(e->sharers, 0b01u);
+  EXPECT_EQ(e->sharers.word(0), 0b01u);
 
   // Peer read (HITM): both end Shared, no owner.
   mem.access(1, kLine, 8, AccessType::kLoad, 1000);
   e = mem.directory().lookup(kLine);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->owner, sim::CoherenceDirectory::kNoOwner);
-  EXPECT_EQ(e->sharers, 0b11u);
+  EXPECT_EQ(e->sharers.word(0), 0b11u);
 
   // Upgrade: core 1 invalidates core 0 and takes sole ownership.
   mem.access(1, kLine, 8, AccessType::kStore, 2000);
@@ -304,7 +304,7 @@ TEST(Directory, TracksOwnerAndSharersThroughProtocolTransitions) {
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->owner, 1u);
   EXPECT_EQ(e->owner_state, MesiState::kModified);
-  EXPECT_EQ(e->sharers, 0b10u);
+  EXPECT_EQ(e->sharers.word(0), 0b10u);
   EXPECT_TRUE(mem.check_directory_invariant());
 }
 
@@ -351,18 +351,29 @@ TEST(Directory, L3BackInvalidationDropsPrivateCopies) {
   EXPECT_TRUE(mem.check_inclusion());
 }
 
-TEST(Directory, RejectsMoreCoresThanTheSharerMaskHolds) {
-  sim::MachineConfig cfg = sim::MachineConfig::tiny(2);
-  cfg.num_cores = 65;
-  EXPECT_THROW(sim::MemorySystem mem(cfg), util::CheckFailure);
-}
+// Validation coverage for the core-count limits (>64 cores across sockets
+// accepted, >64 per socket rejected, 0-socket/ragged rejected) lives in
+// tests/numa_test.cpp (NumaValidation): the single-word 64-core cap became
+// a per-socket cap when the sharer mask went hierarchical.
 
-class DirectoryFuzz : public ::testing::TestWithParam<std::tuple<int, int>> {};
+// Params: (cores per socket, sockets, seed). The differential fuzz runs on
+// single-socket and 2/4-socket machines: the hierarchical-mask directory
+// must match the brute-force reference scan over all peer L2s after every
+// access, and the local/remote HITM split must always sum to the
+// mode-oblivious total.
+class DirectoryFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
 TEST_P(DirectoryFuzz, MatchesReferenceScanAfterEveryAccess) {
-  const auto [cores, seed] = GetParam();
-  sim::MemorySystem mem(
-      sim::MachineConfig::tiny(static_cast<std::uint32_t>(cores)));
+  const auto [per_socket, sockets, seed] = GetParam();
+  const std::uint32_t cores = static_cast<std::uint32_t>(per_socket) *
+                              static_cast<std::uint32_t>(sockets);
+  sim::MachineConfig cfg = sim::MachineConfig::tiny(cores);
+  if (sockets > 1)
+    cfg.topology = {static_cast<std::uint32_t>(sockets),
+                    static_cast<std::uint32_t>(per_socket)};
+  sim::MemorySystem mem(cfg);
+  ASSERT_EQ(mem.num_sockets(), static_cast<std::uint32_t>(sockets));
   util::Rng rng(static_cast<std::uint64_t>(seed));
   // Tight range on a tiny machine: maximal eviction/upgrade/writeback and
   // back-invalidation interplay, checked against the reference scan after
@@ -374,14 +385,33 @@ TEST_P(DirectoryFuzz, MatchesReferenceScanAfterEveryAccess) {
     const auto type = static_cast<AccessType>(rng.next_below(3));
     mem.access(core, addr, 8, type, static_cast<sim::Cycles>(op) * 3);
     ASSERT_TRUE(mem.check_directory_invariant()) << "op " << op;
+    // NUMA counter invariant: the local/remote splits partition the
+    // mode-oblivious totals exactly, on every core, after every access.
+    const auto& c = mem.counters(core);
+    ASSERT_EQ(c.get(RawEvent::kHitmTransfersLocal) +
+                  c.get(RawEvent::kHitmTransfersRemote),
+              c.get(RawEvent::kHitmTransfersIn))
+        << "op " << op;
+    ASSERT_EQ(c.get(RawEvent::kDramReadsLocal) +
+                  c.get(RawEvent::kDramReadsRemote),
+              c.get(RawEvent::kDramReads))
+        << "op " << op;
   }
   EXPECT_TRUE(mem.check_coherence_invariant());
   EXPECT_TRUE(mem.check_inclusion());
+  // Aggregate version of the same partition invariants.
+  const sim::RawCounters total = mem.aggregate_counters();
+  EXPECT_EQ(total.get(RawEvent::kHitmTransfersLocal) +
+                total.get(RawEvent::kHitmTransfersRemote),
+            total.get(RawEvent::kHitmTransfersIn));
+  EXPECT_EQ(total.get(RawEvent::kDramReadsLocal) +
+                total.get(RawEvent::kDramReadsRemote),
+            total.get(RawEvent::kDramReads));
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, DirectoryFuzz,
-    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1, 2, 4),
                        ::testing::Values(7, 21)));
 
 TEST(DirectoryBitIdentity, CountersAndLatenciesMatchReferenceScan) {
