@@ -62,8 +62,8 @@ int main() {
         ++i;
       }
       co_await barrier->wait(ctx);
-      for (std::uint64_t i = 0; i < kShard / 2; ++i) {  // emit
-        co_await ctx.store(out + i * 8);
+      for (std::uint64_t j = 0; j < kShard / 2; ++j) {  // emit
+        co_await ctx.store(out + j * 8);
         ctx.compute(2);
       }
     });

@@ -11,6 +11,7 @@ std::string_view to_string(Remedy remedy) {
   switch (remedy) {
     case Remedy::kPadToLine: return "pad-to-line";
     case Remedy::kReduceSharing: return "reduce-sharing";
+    case Remedy::kBindToSocket: return "bind-to-socket";
     case Remedy::kNone: return "none";
   }
   return "?";
@@ -36,6 +37,9 @@ std::string describe(const Recommendation& r, std::uint32_t line_bytes) {
       os << "TRUE sharing: padding will not help; batch the updates or "
             "privatize-and-merge";
       break;
+    case Remedy::kBindToSocket:
+      os << "cross-socket contention";  // overwritten by the caller
+      break;
     case Remedy::kNone:
       os << "contention negligible";
       break;
@@ -48,6 +52,13 @@ std::string describe(const Recommendation& r, std::uint32_t line_bytes) {
 MitigationReport advise(const baseline::SharingReport& sharing,
                         const exec::VirtualArena& arena,
                         std::uint32_t line_bytes, std::uint64_t min_events) {
+  return advise(sharing, arena, line_bytes, min_events, AdvisorContext{});
+}
+
+MitigationReport advise(const baseline::SharingReport& sharing,
+                        const exec::VirtualArena& arena,
+                        std::uint32_t line_bytes, std::uint64_t min_events,
+                        const AdvisorContext& context) {
   FSML_CHECK(std::has_single_bit(static_cast<std::uint64_t>(line_bytes)));
   MitigationReport report;
   report.has_false_sharing = sharing.has_false_sharing();
@@ -88,6 +99,28 @@ MitigationReport advise(const baseline::SharingReport& sharing,
     rec.text = describe(rec, line_bytes);
     report.recommendations.push_back(std::move(rec));
   }
+
+  report.alarm_priority = context.alarm_priority;
+  // When the contended lines mostly bounce across sockets, thread placement
+  // beats layout surgery as the first move: one taskset/numactl invocation
+  // stops the QPI round-trips, no rebuild required. Listed first because it
+  // addresses every line below it at once.
+  if (context.hitm_remote_ratio > 0.5 && report.has_false_sharing &&
+      !report.recommendations.empty()) {
+    Recommendation bind;
+    bind.remedy = Remedy::kBindToSocket;
+    bind.allocation = "<thread placement>";
+    std::ostringstream os;
+    os.precision(0);
+    os << std::fixed << "thread placement: "
+       << 100.0 * context.hitm_remote_ratio
+       << "% of modified-line transfers cross the socket interconnect — "
+          "bind the contending threads to one socket (numactl/taskset) "
+          "before (or while) applying the layout fixes below";
+    bind.text = os.str();
+    report.recommendations.insert(report.recommendations.begin(),
+                                  std::move(bind));
+  }
   return report;
 }
 
@@ -98,7 +131,11 @@ std::string MitigationReport::to_string() const {
     return os.str();
   }
   os << (has_false_sharing ? "FALSE SHARING DETECTED" : "no false sharing")
-     << " — " << recommendations.size() << " contended line(s):\n";
+     << " — " << recommendations.size() << " recommendation(s)";
+  if (alarm_priority < 0.5)
+    os << " [low-priority alarm (" << alarm_priority
+       << ") — verify before refactoring]";
+  os << ":\n";
   for (const Recommendation& r : recommendations)
     os << "  " << r.text << '\n';
   return os.str();

@@ -27,6 +27,7 @@ namespace fsml::core {
 enum class Remedy : std::uint8_t {
   kPadToLine,       ///< false sharing: give each writer its own line
   kReduceSharing,   ///< true sharing: batch updates / privatize + merge
+  kBindToSocket,    ///< cross-socket ping-pong: pin the threads to one socket
   kNone,            ///< contention too small to matter
 };
 
@@ -44,18 +45,41 @@ struct Recommendation {
   std::string text;            ///< human-readable one-liner
 };
 
+/// Run-level context from the detection pipeline (core/triage.hpp): the
+/// NUMA-locality ratio of the run's coherence traffic and the triage
+/// priority of the alarm that prompted this advice. Defaults reproduce the
+/// context-free overload exactly.
+struct AdvisorContext {
+  /// Remote HITMs / all HITMs (core::derived_locality). Above 0.5 the
+  /// contended lines ping-pong across the QPI link, and pinning the
+  /// involved threads to one socket is the cheapest first mitigation.
+  double hitm_remote_ratio = 0.0;
+  /// Triage priority of the alarm in [0, 1]; below 0.5 the report is
+  /// flagged as low-priority so callers verify before refactoring.
+  double alarm_priority = 1.0;
+};
+
 struct MitigationReport {
   std::vector<Recommendation> recommendations;  ///< most severe first
   bool has_false_sharing = false;
+  double alarm_priority = 1.0;  ///< from AdvisorContext
 
   std::string to_string() const;
 };
 
 /// Builds recommendations from a sharing report. Lines whose combined
-/// events fall below `min_events` are ignored as noise.
+/// events fall below `min_events` are ignored as noise. The context
+/// overload additionally prepends a bind-to-socket recommendation when
+/// remote HITMs dominate a report that shows false sharing — padding fixes
+/// the layout eventually, but thread placement stops the QPI round-trips
+/// today — and stamps the triage priority into the report.
 MitigationReport advise(const baseline::SharingReport& sharing,
                         const exec::VirtualArena& arena,
                         std::uint32_t line_bytes = 64,
                         std::uint64_t min_events = 16);
+MitigationReport advise(const baseline::SharingReport& sharing,
+                        const exec::VirtualArena& arena,
+                        std::uint32_t line_bytes, std::uint64_t min_events,
+                        const AdvisorContext& context);
 
 }  // namespace fsml::core

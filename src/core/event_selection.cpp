@@ -148,4 +148,27 @@ EventSelectionResult select_events(const EventSelectionConfig& config) {
   return result;
 }
 
+LocalityFeatures derived_locality(const sim::RawCounters& raw) {
+  const auto ratio = [](std::uint64_t remote, std::uint64_t local) {
+    const std::uint64_t total = local + remote;
+    return total == 0 ? 0.0
+                      : static_cast<double>(remote) /
+                            static_cast<double>(total);
+  };
+  LocalityFeatures out;
+  out.hitm_remote_ratio =
+      ratio(raw.get(sim::RawEvent::kHitmTransfersRemote),
+            raw.get(sim::RawEvent::kHitmTransfersLocal));
+  out.dram_remote_ratio = ratio(raw.get(sim::RawEvent::kDramReadsRemote),
+                                raw.get(sim::RawEvent::kDramReadsLocal));
+  return out;
+}
+
+std::vector<std::string> extended_feature_names() {
+  std::vector<std::string> names = pmu::FeatureVector::feature_names();
+  names.push_back("hitm_remote_ratio");
+  names.push_back("dram_remote_ratio");
+  return names;
+}
+
 }  // namespace fsml::core

@@ -49,4 +49,31 @@ struct EventSelectionResult {
 
 EventSelectionResult select_events(const EventSelectionConfig& config);
 
+// ---- derived NUMA-locality features ----------------------------------------
+//
+// Two ratios summarizing *where* coherence traffic was served from, derived
+// from the simulator's socket-aware raw counters rather than measured as
+// their own PMU events. Both are exactly zero on a single-socket machine
+// (the remote counters never fire there), so models trained before these
+// features existed stay bit-identical when the ratios are appended: a
+// constant-zero attribute carries no information gain and the C4.5 tree
+// never splits on it.
+
+struct LocalityFeatures {
+  /// Remote HITM transfers / all HITM transfers; high values mean modified
+  /// lines ping-pong across the QPI link, not just between sibling cores.
+  double hitm_remote_ratio = 0.0;
+  /// DRAM reads homed on another socket / all DRAM reads.
+  double dram_remote_ratio = 0.0;
+};
+
+/// Computes the ratios from an aggregate raw-counter bank. A zero
+/// denominator (no HITMs / no DRAM reads at all) yields a 0.0 ratio.
+LocalityFeatures derived_locality(const sim::RawCounters& raw);
+
+/// The 15 normalized Table-2 feature names plus the two locality ratios —
+/// the attribute schema of the extended dataset and the zero-positive
+/// anomaly model.
+std::vector<std::string> extended_feature_names();
+
 }  // namespace fsml::core

@@ -23,19 +23,13 @@ void config_error(const std::string& what) {
   throw std::runtime_error("RobustnessConfig: " + what);
 }
 
-/// One simulated evaluation case with its ground truth.
+/// Coordinates of one evaluation case (EvalRun is the simulated outcome).
 struct EvalJob {
   const trainers::MiniProgram* program = nullptr;
   Mode label = Mode::kGood;
   trainers::AccessPattern pattern = trainers::AccessPattern::kLinear;
   std::uint32_t threads = 4;
   std::uint64_t size = 0;
-};
-
-struct EvalRun {
-  Mode label = Mode::kGood;
-  exec::RunResult result;
-  pmu::FeatureVector clean_features;
 };
 
 /// Evaluation-run seed from job coordinates (FNV-1a + SplitMix), so the
@@ -103,9 +97,12 @@ EvalRun run_eval_job(const EvalJob& job, const RobustnessConfig& config) {
 
   EvalRun run;
   run.label = job.label;
+  run.program = std::string(job.program->name());
+  run.threads = job.threads;
   run.result = machine.run();
   run.clean_features = pmu::FeatureVector::normalize(
       pmu::CounterSnapshot::from_raw(run.result.aggregate));
+  run.locality = derived_locality(run.result.aggregate);
   return run;
 }
 
@@ -113,6 +110,12 @@ void score(RobustnessPoint& point, Mode label, bool known, Mode mode) {
   ++point.runs;
   if (!known) {
     ++point.abstained;
+    if (label == Mode::kGood)
+      ++point.abstained_good;
+    else if (label == Mode::kBadFs)
+      ++point.abstained_bad_fs;
+    else
+      ++point.abstained_bad_ma;
     return;
   }
   ++point.classified;
@@ -124,7 +127,11 @@ void json_point(std::ostream& os, const RobustnessPoint& p) {
   os << "{\"jitter\": " << p.jitter << ", \"counters\": " << p.counters
      << ", \"drop\": " << p.drop << ", \"runs\": " << p.runs
      << ", \"classified\": " << p.classified
-     << ", \"abstained\": " << p.abstained << ", \"correct\": " << p.correct
+     << ", \"abstained\": " << p.abstained
+     << ", \"abstained_good\": " << p.abstained_good
+     << ", \"abstained_bad_fs\": " << p.abstained_bad_fs
+     << ", \"abstained_bad_ma\": " << p.abstained_bad_ma
+     << ", \"correct\": " << p.correct
      << ", \"false_positives\": " << p.false_positives
      << ", \"accuracy\": " << p.accuracy()
      << ", \"coverage\": " << p.coverage() << '}';
@@ -148,6 +155,27 @@ void RobustnessConfig::validate() const {
   vote.repeats = repeats;
   vote.min_confidence = min_confidence;
   vote.validate();
+}
+
+std::vector<EvalRun> simulate_evaluation_runs(const RobustnessConfig& config,
+                                              std::ostream* log) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t jobs_n =
+      config.jobs == 0 ? par::ThreadPool::hardware_workers() : config.jobs;
+  par::ThreadPool pool(jobs_n - 1);
+
+  const std::vector<EvalJob> jobs = enumerate_eval_jobs(config);
+  std::vector<EvalRun> runs = par::parallel_transform(
+      pool, jobs,
+      [&](const EvalJob& job) { return run_eval_job(job, config); });
+  if (log) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    *log << "robustness: simulated " << runs.size()
+         << " evaluation runs in " << util::auto_time(elapsed.count())
+         << "\n";
+  }
+  return runs;
 }
 
 void RobustnessReport::write_json(std::ostream& os) const {
@@ -179,17 +207,7 @@ RobustnessReport evaluate_robustness(const FalseSharingDetector& detector,
   par::ThreadPool pool(jobs_n - 1);
 
   // Simulate the evaluation runs once; every grid point re-measures these.
-  const std::vector<EvalJob> jobs = enumerate_eval_jobs(config);
-  const std::vector<EvalRun> runs = par::parallel_transform(
-      pool, jobs,
-      [&](const EvalJob& job) { return run_eval_job(job, config); });
-  if (log) {
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    *log << "robustness: simulated " << runs.size()
-         << " evaluation runs in " << util::auto_time(elapsed.count())
-         << "\n";
-  }
+  const std::vector<EvalRun> runs = simulate_evaluation_runs(config, log);
 
   RobustnessReport report;
   report.repeats = config.repeats;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "core/event_selection.hpp"
 #include "sim/machine_config.hpp"
 
 namespace fsml::core {
@@ -58,6 +59,25 @@ struct RobustnessConfig {
   void validate() const;
 };
 
+/// One simulated evaluation case with its ground truth and metadata —
+/// the shared input of evaluate_robustness() and the triage harness
+/// (core/triage.hpp), which re-ranks the same runs' verdicts.
+struct EvalRun {
+  trainers::Mode label = trainers::Mode::kGood;
+  std::string program;
+  std::uint32_t threads = 4;
+  exec::RunResult result;
+  pmu::FeatureVector clean_features;
+  /// NUMA-locality ratios of the clean aggregate counters.
+  LocalityFeatures locality;
+};
+
+/// Simulates the evaluation set once (with time-slicing per
+/// `config.slice_cycles`) on the fsml::par pool. Run seeds derive from job
+/// coordinates, so the set is bit-identical for any `config.jobs` value.
+std::vector<EvalRun> simulate_evaluation_runs(const RobustnessConfig& config,
+                                              std::ostream* log = nullptr);
+
 /// Scores of one sweep cell (or of the clean baseline).
 struct RobustnessPoint {
   double jitter = 0.0;
@@ -67,6 +87,12 @@ struct RobustnessPoint {
   std::size_t runs = 0;        ///< evaluation runs scored
   std::size_t classified = 0;  ///< runs with a known verdict
   std::size_t abstained = 0;   ///< runs the detector declined to call
+  /// Abstentions broken down by ground-truth label: abstaining on a good
+  /// run costs only coverage, abstaining on a bad run hides a fault — the
+  /// artifact separates the two so dashboards can weigh them differently.
+  std::size_t abstained_good = 0;
+  std::size_t abstained_bad_fs = 0;
+  std::size_t abstained_bad_ma = 0;
   std::size_t correct = 0;     ///< known verdicts matching the label
   /// Runs labelled good whose *known* verdict was bad-fs or bad-ma. An
   /// abstention on a good run is degraded coverage, never a false alarm.

@@ -11,6 +11,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/event_selection.hpp"
 #include "core/journal.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
@@ -71,6 +72,9 @@ LabeledInstance run_one(const MiniProgram& program, std::uint64_t size,
   inst.pattern = pattern;
   inst.seconds = run.result.seconds;
   inst.part_a = part_a;
+  const LocalityFeatures locality = derived_locality(run.raw);
+  inst.hitm_remote_ratio = locality.hitm_remote_ratio;
+  inst.dram_remote_ratio = locality.dram_remote_ratio;
   return inst;
 }
 
@@ -203,7 +207,8 @@ std::string format_instance_row(const LabeledInstance& inst) {
   os << class_names()[static_cast<std::size_t>(inst.label)] << ','
      << inst.program << ',' << inst.size << ',' << inst.threads << ','
      << trainers::to_string(inst.pattern) << ',' << inst.seconds << ','
-     << (inst.part_a ? 'A' : 'B');
+     << (inst.part_a ? 'A' : 'B') << ',' << inst.hitm_remote_ratio << ','
+     << inst.dram_remote_ratio;
   return os.str();
 }
 
@@ -236,6 +241,14 @@ LabeledInstance parse_instance_row(const std::string& line) {
   inst.seconds = std::stod(field);
   FSML_CHECK(static_cast<bool>(std::getline(ss, field, ',')));
   inst.part_a = field == "A";
+  // Locality columns arrived after the first cache format; rows without
+  // them (legacy caches, journals) load as single-socket zeros.
+  if (std::getline(ss, field, ',')) {
+    inst.hitm_remote_ratio = std::stod(field);
+    FSML_CHECK_MSG(static_cast<bool>(std::getline(ss, field, ',')),
+                   "truncated locality columns in training CSV");
+    inst.dram_remote_ratio = std::stod(field);
+  }
   return inst;
 }
 
@@ -471,6 +484,28 @@ ml::Dataset TrainingData::to_dataset() const {
   return dataset;
 }
 
+std::vector<double> extended_row(const LabeledInstance& inst) {
+  std::vector<double> x(inst.features.values().begin(),
+                        inst.features.values().end());
+  x.push_back(inst.hitm_remote_ratio);
+  x.push_back(inst.dram_remote_ratio);
+  return x;
+}
+
+ml::Dataset TrainingData::to_extended_dataset() const {
+  ml::Dataset dataset(extended_feature_names(), class_names());
+  for (const LabeledInstance& inst : instances)
+    dataset.add(extended_row(inst), inst.label);
+  return dataset;
+}
+
+std::vector<std::vector<double>> TrainingData::good_extended_rows() const {
+  std::vector<std::vector<double>> rows;
+  for (const LabeledInstance& inst : instances)
+    if (inst.label == kGood) rows.push_back(extended_row(inst));
+  return rows;
+}
+
 namespace {
 
 void write_census(std::ostream& os, const char* tag, const Census& c) {
@@ -498,7 +533,8 @@ void TrainingData::save_csv(std::ostream& os) const {
   write_census(body, "B", census_b);
   for (const auto& name : pmu::FeatureVector::feature_names())
     body << name << ',';
-  body << "label,program,size,threads,pattern,seconds,part\n";
+  body << "label,program,size,threads,pattern,seconds,part,"
+          "hitm_remote_ratio,dram_remote_ratio\n";
   for (const LabeledInstance& inst : instances)
     body << format_instance_row(inst) << '\n';
   const std::string bytes = body.str();

@@ -62,7 +62,16 @@ struct LabeledInstance {
   trainers::AccessPattern pattern = trainers::AccessPattern::kLinear;
   double seconds = 0.0;
   bool part_a = true;
+  /// Derived NUMA-locality ratios (core::derived_locality); exactly 0 on
+  /// single-socket machines, so pre-existing caches load as all-zero.
+  double hitm_remote_ratio = 0.0;
+  double dram_remote_ratio = 0.0;
 };
+
+/// The 15 normalized features plus the two locality ratios, in
+/// extended_feature_names() order — the row shape consumed by
+/// to_extended_dataset() and the zero-positive anomaly model.
+std::vector<double> extended_row(const LabeledInstance& inst);
 
 /// Census in the shape of the paper's Table 3.
 struct Census {
@@ -83,6 +92,16 @@ struct TrainingData {
 
   /// Converts to an ML dataset (15 normalized features + class).
   ml::Dataset to_dataset() const;
+
+  /// Same instances over the extended schema (15 features + the two
+  /// locality ratios). On single-socket data the extra attributes are
+  /// constant zero, so a C4.5 tree trained on this dataset has exactly the
+  /// same structure as one trained on to_dataset().
+  ml::Dataset to_extended_dataset() const;
+
+  /// Extended rows of the good-labelled instances only — the zero-positive
+  /// anomaly model's training set.
+  std::vector<std::vector<double>> good_extended_rows() const;
 
   /// CSV persistence (features, label, provenance) so expensive collection
   /// runs once and every bench reuses it.

@@ -116,32 +116,23 @@ std::uint64_t schema_hash(const std::vector<std::string>& attributes,
   return h;
 }
 
-void save_model(const C45Tree& tree, std::ostream& os) {
-  std::ostringstream payload;
-  tree.save(payload);
-  const std::string bytes = payload.str();
-
-  char schema[32], crc[16];
-  std::snprintf(schema, sizeof schema, "%016llx",
-                static_cast<unsigned long long>(schema_hash(
-                    tree.attribute_names(), tree.class_names())));
-  std::snprintf(crc, sizeof crc, "%08x", util::crc32(bytes));
+void write_container(std::ostream& os, const std::string& payload,
+                     std::uint64_t schema) {
+  char schema_hex[32], crc[16];
+  std::snprintf(schema_hex, sizeof schema_hex, "%016llx",
+                static_cast<unsigned long long>(schema));
+  std::snprintf(crc, sizeof crc, "%08x", util::crc32(payload));
 
   os << kModelMagic << " v" << kModelFormatVersion << '\n'
-     << "schema " << schema << '\n'
-     << "payload " << bytes.size() << '\n'
-     << bytes << "crc32 " << crc << '\n';
+     << "schema " << schema_hex << '\n'
+     << "payload " << payload.size() << '\n'
+     << payload << "crc32 " << crc << '\n';
 }
 
-C45Tree load_model(std::istream& is, C45Params params) {
+ModelContainer read_container(std::istream& is) {
   std::string magic;
   is >> magic;
   if (!is) model_error("empty or unreadable stream");
-  if (magic == "fsml-c45") {
-    // Legacy bare payload (pre-container): rewind and load directly.
-    is.seekg(0);
-    return C45Tree::load(is, params);
-  }
   if (magic != kModelMagic)
     model_error("bad magic '" + magic + "' (expected '" + kModelMagic +
                 "'): not an fsml model file");
@@ -158,16 +149,18 @@ C45Tree load_model(std::istream& is, C45Params params) {
                 "); retrain or use a matching fsml build");
 
   std::string keyword;
+  ModelContainer out;
   unsigned long long schema = 0;
   is >> keyword >> std::hex >> schema >> std::dec;
   if (!is || keyword != "schema") model_error("malformed schema line");
+  out.schema = schema;
   std::size_t payload_bytes = 0;
   is >> keyword >> payload_bytes;
   if (!is || keyword != "payload") model_error("malformed payload header");
   is.ignore(1);  // the newline ending the payload header
 
-  std::string payload(payload_bytes, '\0');
-  is.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  out.payload.assign(payload_bytes, '\0');
+  is.read(out.payload.data(), static_cast<std::streamsize>(payload_bytes));
   if (is.gcount() != static_cast<std::streamsize>(payload_bytes))
     model_error("truncated payload (expected " +
                 std::to_string(payload_bytes) + " bytes, got " +
@@ -176,12 +169,33 @@ C45Tree load_model(std::istream& is, C45Params params) {
   unsigned long long crc = 0;
   is >> keyword >> std::hex >> crc >> std::dec;
   if (!is || keyword != "crc32") model_error("missing CRC footer");
-  if (util::crc32(payload) != crc)
+  if (util::crc32(out.payload) != crc)
     model_error("CRC mismatch: the file is corrupt");
+  return out;
+}
 
-  std::istringstream ps(payload);
+void save_model(const C45Tree& tree, std::ostream& os) {
+  std::ostringstream payload;
+  tree.save(payload);
+  write_container(os, payload.str(),
+                  schema_hash(tree.attribute_names(), tree.class_names()));
+}
+
+C45Tree load_model(std::istream& is, C45Params params) {
+  std::string magic;
+  is >> magic;
+  if (!is) model_error("empty or unreadable stream");
+  is.seekg(0);
+  if (magic == "fsml-c45") {
+    // Legacy bare payload (pre-container): load directly.
+    return C45Tree::load(is, params);
+  }
+
+  const ModelContainer container = read_container(is);
+  std::istringstream ps(container.payload);
   C45Tree tree = C45Tree::load(ps, params);
-  if (schema_hash(tree.attribute_names(), tree.class_names()) != schema)
+  if (schema_hash(tree.attribute_names(), tree.class_names()) !=
+      container.schema)
     model_error("schema hash does not match the payload: the file is "
                 "corrupt or was tampered with");
   return tree;

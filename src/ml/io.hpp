@@ -47,6 +47,26 @@ void write_arff(const Dataset& data, const std::string& relation,
 /// Current model container format version.
 inline constexpr std::uint32_t kModelFormatVersion = 2;
 
+/// The raw contents of an fsml-model container: an opaque text payload plus
+/// the schema fingerprint the writer embedded. The container framing (magic,
+/// version, payload byte count, CRC32) is shared by every model kind this
+/// library persists — the C4.5 tree and the zero-positive anomaly model —
+/// so corruption handling and version policy live in exactly one place.
+struct ModelContainer {
+  std::string payload;
+  std::uint64_t schema = 0;
+};
+
+/// Writes the container framing around `payload`.
+void write_container(std::ostream& os, const std::string& payload,
+                     std::uint64_t schema);
+
+/// Reads and verifies a container: magic, version (newer-than-build files
+/// are rejected, not guessed at), payload framing, and CRC. Schema
+/// *semantics* are the caller's to check — the container only transports the
+/// hash. Throws std::runtime_error with an actionable message.
+ModelContainer read_container(std::istream& is);
+
 /// Order-sensitive FNV-1a hash over attribute names then class names — the
 /// feature-schema fingerprint embedded in model files.
 std::uint64_t schema_hash(const std::vector<std::string>& attributes,

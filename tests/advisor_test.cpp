@@ -127,6 +127,53 @@ TEST(Advisor, EndToEndFixVerification) {
     EXPECT_NE(r.remedy, core::Remedy::kPadToLine);
 }
 
+TEST(Advisor, SocketAffinityLeadsWhenRemoteHitmsDominate) {
+  exec::VirtualArena arena;
+  const sim::Addr stats = arena.alloc_line_aligned_named("worker_stats", 64);
+  baseline::ShadowDetector shadow(4);
+  for (int i = 0; i < 50; ++i)
+    for (sim::CoreId t = 0; t < 4; ++t)
+      shadow.on_access(rec(t, stats + 8 * t, AccessType::kRmw));
+
+  core::AdvisorContext context;
+  context.hitm_remote_ratio = 0.8;
+  const auto report = core::advise(shadow.report(), arena, 64, 8, context);
+  ASSERT_GE(report.recommendations.size(), 2u);
+  const auto& bind = report.recommendations.front();
+  EXPECT_EQ(bind.remedy, core::Remedy::kBindToSocket);
+  EXPECT_EQ(bind.allocation, "<thread placement>");
+  EXPECT_NE(bind.text.find("80%"), std::string::npos);
+  EXPECT_NE(bind.text.find("socket"), std::string::npos);
+  // The layout fix is still listed after the placement advice.
+  EXPECT_EQ(report.recommendations[1].remedy, core::Remedy::kPadToLine);
+
+  // Mostly-local transfers: no placement advice.
+  context.hitm_remote_ratio = 0.2;
+  const auto local = core::advise(shadow.report(), arena, 64, 8, context);
+  for (const auto& r : local.recommendations)
+    EXPECT_NE(r.remedy, core::Remedy::kBindToSocket);
+}
+
+TEST(Advisor, LowPriorityAlarmIsCalledOutInRendering) {
+  exec::VirtualArena arena;
+  const sim::Addr stats = arena.alloc_line_aligned_named("worker_stats", 64);
+  baseline::ShadowDetector shadow(4);
+  for (int i = 0; i < 50; ++i)
+    for (sim::CoreId t = 0; t < 4; ++t)
+      shadow.on_access(rec(t, stats + 8 * t, AccessType::kRmw));
+
+  core::AdvisorContext context;
+  context.alarm_priority = 0.3;
+  const auto report = core::advise(shadow.report(), arena, 64, 8, context);
+  EXPECT_DOUBLE_EQ(report.alarm_priority, 0.3);
+  EXPECT_NE(report.to_string().find("low-priority alarm"), std::string::npos);
+
+  context.alarm_priority = 0.9;
+  const auto confident = core::advise(shadow.report(), arena, 64, 8, context);
+  EXPECT_EQ(confident.to_string().find("low-priority alarm"),
+            std::string::npos);
+}
+
 TEST(Advisor, ReportRendering) {
   exec::VirtualArena arena;
   baseline::SharingReport empty;

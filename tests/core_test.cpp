@@ -61,8 +61,11 @@ TEST(Training, InstancesCarryProvenance) {
 }
 
 TEST(Training, PartBIsSequentialOnly) {
-  for (const core::LabeledInstance& inst : reduced_data().instances)
-    if (!inst.part_a) EXPECT_EQ(inst.threads, 1u);
+  for (const core::LabeledInstance& inst : reduced_data().instances) {
+    if (!inst.part_a) {
+      EXPECT_EQ(inst.threads, 1u);
+    }
+  }
 }
 
 TEST(Training, CsvRoundTripPreservesEverything) {
@@ -81,6 +84,8 @@ TEST(Training, CsvRoundTripPreservesEverything) {
     EXPECT_EQ(a.size, b.size);
     EXPECT_EQ(a.threads, b.threads);
     EXPECT_EQ(a.part_a, b.part_a);
+    EXPECT_DOUBLE_EQ(a.hitm_remote_ratio, b.hitm_remote_ratio);
+    EXPECT_DOUBLE_EQ(a.dram_remote_ratio, b.dram_remote_ratio);
     for (std::size_t f = 0; f < pmu::kNumFeatures; ++f)
       EXPECT_DOUBLE_EQ(a.features.at(f), b.features.at(f));
   }
@@ -133,7 +138,7 @@ TEST(Training, LoadCsvRejectsFlippedByte) {
   std::stringstream full;
   reduced_data().save_csv(full);
   std::string text = full.str();
-  const std::size_t pos = text.find(",A\n");
+  const std::size_t pos = text.find(",A,");  // the part column
   ASSERT_NE(pos, std::string::npos);
   text[pos + 1] = 'B';  // flip one byte inside a row
   std::stringstream corrupt(text);

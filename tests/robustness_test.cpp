@@ -160,8 +160,12 @@ TEST(Robustness, ExtremeNoiseAbstainsRatherThanFalselyAlarming) {
   ASSERT_EQ(report.points.size(), 1u);
   // Degradation must surface as lost coverage (abstentions), never as a
   // false alarm on a good program.
-  EXPECT_EQ(report.points[0].false_positives, 0u);
-  EXPECT_GT(report.points[0].abstained, 0u);
+  const core::RobustnessPoint& p = report.points[0];
+  EXPECT_EQ(p.false_positives, 0u);
+  EXPECT_GT(p.abstained, 0u);
+  // The per-label breakdown partitions the abstention count exactly.
+  EXPECT_EQ(p.abstained_good + p.abstained_bad_fs + p.abstained_bad_ma,
+            p.abstained);
 }
 
 TEST(Robustness, ReportIsDeterministicAcrossJobs) {
@@ -192,6 +196,9 @@ TEST(Robustness, JsonArtifactHasSchemaAndPoints) {
   EXPECT_NE(json.find("\"baseline\""), std::string::npos);
   EXPECT_NE(json.find("\"points\""), std::string::npos);
   EXPECT_NE(json.find("\"accuracy\""), std::string::npos);
+  EXPECT_NE(json.find("\"abstained_good\""), std::string::npos);
+  EXPECT_NE(json.find("\"abstained_bad_fs\""), std::string::npos);
+  EXPECT_NE(json.find("\"abstained_bad_ma\""), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
 }

@@ -8,6 +8,8 @@
 //   fsml_analyze robustness [--noise=0,0.05,0.2] [--counters=0,4,2]
 //                         [--drop=0,0.05] [--repeats=5] [--confidence=0.6]
 //                         [--out=robustness.json]
+//   fsml_analyze triage   [--anomaly=fsml.anomaly] [--demote-below=0.35]
+//                         [--out=triage.json] (+ the robustness options)
 //   fsml_analyze list
 //   fsml_analyze events
 //
@@ -27,6 +29,7 @@
 #include "core/robustness.hpp"
 #include "core/slices.hpp"
 #include "core/training.hpp"
+#include "core/triage.hpp"
 #include "fault/fault.hpp"
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
@@ -66,6 +69,8 @@ int usage() {
       "                         (deterministic fault injection: crash after\n"
       "                          N completed jobs / transient throw rate R;\n"
       "                          used by the CI crash-resume smoke test)\n"
+      "            --save-anomaly=FILE (also fit the zero-positive anomaly\n"
+      "                          model on the good rows and persist it)\n"
       "  classify  classify one case of a benchmark proxy\n"
       "            --workload=NAME --input=SET --opt=-O2 --threads=8\n"
       "            --model=FILE --load-model=FILE --seed=N\n"
@@ -86,6 +91,17 @@ int usage() {
       "            --seed=N --jobs=N --model=FILE --load-model=FILE "
       "--reduced\n"
       "            --out=FILE     JSON artifact (default robustness.json)\n"
+      "  triage    two-stage sweep: stage-1 verdicts re-ranked by the triage\n"
+      "            stage (tree confidence + zero-positive anomaly + phase\n"
+      "            timeline + run metadata); low-priority alarms demote to\n"
+      "            unknown\n"
+      "            --anomaly=FILE       zero-positive model (default\n"
+      "                                 fsml.anomaly; fitted from reduced\n"
+      "                                 training data when missing)\n"
+      "            --load-anomaly=FILE  strict load (corrupt file = exit 1)\n"
+      "            --demote-below=P     demotion cutoff (default 0.35)\n"
+      "            --out=FILE           JSON artifact (default triage.json)\n"
+      "            (plus every robustness option above)\n"
       "  list      available workloads and mini-programs\n"
       "  events    the modelled Westmere event table (paper Table 2)\n");
   return 2;
@@ -162,6 +178,13 @@ int cmd_train(const util::Cli& cli) {
   detector.train(data);
   const std::string out = cli.get("save-model", cli.get("out", "fsml.tree"));
   detector.save_file(out);
+  const std::string anomaly_out = cli.get("save-anomaly", "");
+  if (!anomaly_out.empty()) {
+    const ml::ZeroPositiveModel anomaly = core::fit_zero_positive(data);
+    anomaly.save_file(anomaly_out);
+    std::printf("anomaly model -> %s (%s)\n", anomaly_out.c_str(),
+                anomaly.describe().c_str());
+  }
   if (!report.quarantined.empty())
     std::fprintf(stderr,
                  "warning: %zu collection cell(s) quarantined; the model was "
@@ -277,7 +300,7 @@ int cmd_sweep(const util::Cli& cli) {
   return 0;
 }
 
-int cmd_robustness(const util::Cli& cli) {
+core::RobustnessConfig sweep_config_from_cli(const util::Cli& cli) {
   core::RobustnessConfig config;
   config.jitters = cli.get_double_list("noise", config.jitters, 0.0, 1.0);
   const std::vector<std::int64_t> counters = cli.get_int_list(
@@ -291,7 +314,11 @@ int cmd_robustness(const util::Cli& cli) {
       cli.get_int_in("seed", 42, 0, std::numeric_limits<std::int64_t>::max()));
   config.jobs = cli_jobs(cli);
   config.reduced = cli.get_bool("reduced", false);
+  return config;
+}
 
+int cmd_robustness(const util::Cli& cli) {
+  const core::RobustnessConfig config = sweep_config_from_cli(cli);
   const core::FalseSharingDetector detector = load_or_train(cli);
   const core::RobustnessReport report =
       core::evaluate_robustness(detector, config, &std::cerr);
@@ -314,6 +341,69 @@ int cmd_robustness(const util::Cli& cli) {
     table.add_row({noise,
                    p.counters == 0 ? "all" : std::to_string(p.counters), drop,
                    coverage, accuracy, std::to_string(p.false_positives)});
+  }
+  table.render(std::cout);
+  std::printf("artifact -> %s\n", out.c_str());
+  return 0;
+}
+
+ml::ZeroPositiveModel load_or_fit_anomaly(const util::Cli& cli) {
+  const std::string strict = cli.get("load-anomaly", "");
+  if (!strict.empty()) {
+    std::fprintf(stderr, "loading anomaly model %s\n", strict.c_str());
+    return ml::ZeroPositiveModel::load_file(strict);
+  }
+  const std::string path = cli.get("anomaly", "fsml.anomaly");
+  if (static_cast<bool>(std::ifstream(path))) {
+    std::fprintf(stderr, "loading anomaly model %s\n", path.c_str());
+    return ml::ZeroPositiveModel::load_file(path);
+  }
+  std::fprintf(stderr,
+               "no anomaly model at %s — fitting from reduced training data "
+               "(use `fsml_analyze train --save-anomaly=%s` to persist one)\n",
+               path.c_str(), path.c_str());
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  config.jobs = cli_jobs(cli);
+  return core::fit_zero_positive(core::collect_training_data(config));
+}
+
+int cmd_triage(const util::Cli& cli) {
+  core::TriageConfig config;
+  config.sweep = sweep_config_from_cli(cli);
+  config.weights.demote_below =
+      cli.get_double_in("demote-below", config.weights.demote_below, 0.0, 1.0);
+
+  const core::FalseSharingDetector detector = load_or_train(cli);
+  core::TriageStage stage(config.weights);
+  stage.set_anomaly_model(load_or_fit_anomaly(cli));
+
+  const core::TriageReport report =
+      core::evaluate_triage(detector, stage, config, &std::cerr);
+
+  const std::string out = cli.get("out", "triage.json");
+  util::AtomicFile artifact(out);  // never leaves a torn JSON behind
+  report.write_json(artifact.stream());
+  artifact.commit();
+
+  std::printf("zero-positive: flagged %zu/%zu bad runs, %zu/%zu good runs\n",
+              report.flagged_bad, report.bad_runs, report.flagged_good,
+              report.good_runs);
+  util::Table table({"noise", "counters", "drop", "fp s1", "fp s2", "demoted",
+                     "precision", "recall", "abstain"});
+  for (const core::TriageCell& c : report.cells) {
+    char noise[16], drop[16], precision[16], recall[16], abstain[16];
+    std::snprintf(noise, sizeof noise, "%.2f", c.jitter);
+    std::snprintf(drop, sizeof drop, "%.2f", c.drop);
+    std::snprintf(precision, sizeof precision, "%.2f", c.stage2.precision());
+    std::snprintf(recall, sizeof recall, "%.2f",
+                  c.stage2.recall(report.bad_runs));
+    std::snprintf(abstain, sizeof abstain, "%.2f",
+                  c.stage2.abstention(report.runs));
+    table.add_row({noise,
+                   c.counters == 0 ? "all" : std::to_string(c.counters), drop,
+                   std::to_string(c.stage1.false_alarms),
+                   std::to_string(c.stage2.false_alarms),
+                   std::to_string(c.demoted), precision, recall, abstain});
   }
   table.render(std::cout);
   std::printf("artifact -> %s\n", out.c_str());
@@ -362,6 +452,7 @@ int main(int argc, char** argv) {
     if (command == "classify") return cmd_classify(cli);
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "robustness") return cmd_robustness(cli);
+    if (command == "triage") return cmd_triage(cli);
     if (command == "list") return cmd_list();
     if (command == "events") return cmd_events();
   } catch (const std::exception& e) {
