@@ -1,0 +1,206 @@
+// Chaos drills for the streaming detection service (src/serve).
+//
+// Runs a battery of seeded storm scenarios against serve::Server — burst
+// arrivals, slow clients, malformed streams, queue overflow, injected
+// classify throws, mid-drill cancellation, and everything at once — and
+// asserts the service's three robustness contracts on every one:
+//
+//   * determinism — the CRC-32 fingerprint of the sorted terminal records
+//     is bit-identical between --jobs=1 and --jobs=N (any parallelism only
+//     reorders work, never changes a verdict);
+//   * conservation — every admitted session gets exactly one terminal
+//     record (lost_sessions == 0), no matter how the drill misbehaves;
+//   * zero false positives — no good-labelled session ever receives a
+//     known bad verdict; overload degrades to explicit abstention instead.
+//
+// Results (throughput, p50/p99 latency in virtual steps, shed rate,
+// breaker trips) are written to BENCH_serve.json
+// (schema fsml-bench-serve-v1) for the CI artifact trail.
+//
+// Options (beyond bench_common.hpp's standard ones):
+//   --sessions=48        clients per scenario (4..100000)
+//   --check-jobs=4       second --jobs value for the determinism cross-check
+//                        (0 disables the cross-run)
+//   --reduced-train      train on the reduced mini-program set (fast, used
+//                        by the CI smoke job) instead of the cached full set
+//   --out=BENCH_serve.json  JSON artifact path (empty string disables)
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/drill.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+
+using namespace fsml;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  serve::DrillConfig config;
+};
+
+/// The drill battery. Every scenario shares the population/seed defaults
+/// and turns on one storm axis; "everything" turns them all on at once.
+std::vector<Scenario> make_scenarios(std::size_t sessions,
+                                     std::uint64_t seed) {
+  serve::DrillConfig base;
+  base.sessions = sessions;
+  base.seed = seed;
+  base.server.seed = seed;
+  base.server.queue_depth = 24;  // small enough that bursts actually shed
+  base.service_rate = 4;
+
+  std::vector<Scenario> out;
+
+  out.push_back({"baseline_burst", base});
+
+  Scenario stalls{"slow_clients_laggy_dequeue", base};
+  stalls.config.faults.seed = seed;
+  stalls.config.faults.stall_rate = 0.3;
+  stalls.config.faults.stall_steps = 6;
+  out.push_back(stalls);
+
+  Scenario malformed{"malformed_streams", base};
+  malformed.config.malformed_rate = 0.35;
+  out.push_back(malformed);
+
+  Scenario overflow{"queue_overflow", base};
+  overflow.config.faults.seed = seed;
+  overflow.config.faults.overflow_rate = 0.4;
+  overflow.config.service_rate = 2;
+  out.push_back(overflow);
+
+  Scenario faults{"classify_throws", base};
+  faults.config.faults.seed = seed;
+  faults.config.faults.throw_rate = 0.5;
+  faults.config.faults.throw_attempts = 3;  // outlasts the 2 retry attempts
+  out.push_back(faults);
+
+  Scenario cancel{"mid_drill_cancellation", base};
+  cancel.config.cancel_rate = 0.3;
+  cancel.config.cancel_step = 3;
+  out.push_back(cancel);
+
+  Scenario everything{"combined_chaos", base};
+  everything.config.faults.seed = seed;
+  everything.config.faults.stall_rate = 0.2;
+  everything.config.faults.stall_steps = 4;
+  everything.config.faults.overflow_rate = 0.15;
+  everything.config.faults.throw_rate = 0.25;
+  everything.config.faults.throw_attempts = 3;
+  everything.config.malformed_rate = 0.2;
+  everything.config.cancel_rate = 0.15;
+  everything.config.cancel_step = 5;
+  everything.config.service_rate = 3;
+  out.push_back(everything);
+
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const auto sessions = static_cast<std::size_t>(
+        cli.get_int_in("sessions", 48, 4, 100000));
+    const auto check_jobs = static_cast<std::size_t>(
+        cli.get_int_in("check-jobs", 4, 0, 4096));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const std::string out_path = cli.get("out", "BENCH_serve.json");
+    const std::size_t jobs = bench::cli_jobs(cli);
+
+    core::FalseSharingDetector detector;
+    if (cli.get_bool("reduced-train", false)) {
+      core::TrainingConfig train = core::TrainingConfig::reduced();
+      train.seed = seed;
+      train.jobs = jobs;
+      detector.train(core::collect_training_data(train, &std::cerr));
+    } else {
+      detector = bench::trained_detector(bench::training_data(cli));
+    }
+
+    const std::vector<core::EvalRun> templates =
+        serve::drill_templates(seed, jobs, &std::cerr);
+
+    util::Table table({"scenario", "records", "verdicts", "abstain", "shed",
+                       "quar", "expired", "cancel", "p99", "shed-rate",
+                       "fingerprint"});
+    for (std::size_t col = 1; col < table.num_columns(); ++col)
+      table.set_align(col, util::Align::kRight);
+
+    std::string json = "{\n  \"schema\": \"fsml-bench-serve-v1\",\n";
+    json += "  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"sessions\": " + std::to_string(sessions) + ",\n";
+    json += "  \"scenarios\": [\n";
+
+    bool first = true;
+    for (const Scenario& scenario : make_scenarios(sessions, seed)) {
+      serve::DrillConfig config = scenario.config;
+      config.jobs = jobs;
+      std::fprintf(stderr, "drill %s (jobs=%zu)...\n", scenario.name.c_str(),
+                   jobs);
+      const serve::DrillReport report =
+          serve::run_drill(detector, templates, config, &std::cerr);
+
+      // Contract 1: conservation. Contract 2: the 0-FP bar under chaos.
+      FSML_CHECK_MSG(report.lost_sessions == 0,
+                     "drill '" + scenario.name + "' lost sessions");
+      FSML_CHECK_MSG(report.false_positives == 0,
+                     "drill '" + scenario.name +
+                         "' produced a false positive under chaos");
+
+      // Contract 3: bit-identical verdict sets across --jobs.
+      if (check_jobs > 0 && check_jobs != jobs) {
+        serve::DrillConfig cross = scenario.config;
+        cross.jobs = check_jobs;
+        const serve::DrillReport replay =
+            serve::run_drill(detector, templates, cross, nullptr);
+        FSML_CHECK_MSG(replay.fingerprint == report.fingerprint &&
+                           replay.records.size() == report.records.size(),
+                       "drill '" + scenario.name +
+                           "' verdict set depends on --jobs");
+      }
+
+      char p99[24], rate[24], fp[16];
+      std::snprintf(p99, sizeof p99, "%llu",
+                    static_cast<unsigned long long>(report.latency_p99_steps));
+      std::snprintf(rate, sizeof rate, "%.2f", report.shed_rate);
+      std::snprintf(fp, sizeof fp, "%08x", report.fingerprint);
+      table.add_row({scenario.name, std::to_string(report.records.size()),
+                     std::to_string(report.verdicts),
+                     std::to_string(report.abstained),
+                     std::to_string(report.shed),
+                     std::to_string(report.quarantined),
+                     std::to_string(report.expired),
+                     std::to_string(report.cancelled), p99, rate, fp});
+
+      std::ostringstream entry;
+      report.write_json(entry, scenario.name, config);
+      json += (first ? "" : ",\n") + entry.str();
+      first = false;
+    }
+    json += "\n  ]\n}\n";
+
+    std::printf("Chaos drills: %zu sessions per scenario, seed %llu\n",
+                sessions, static_cast<unsigned long long>(seed));
+    table.render(std::cout);
+    std::printf(
+        "\nAll scenarios: 0 false positives, 0 lost sessions, verdict sets "
+        "bit-identical across --jobs.\n");
+
+    if (!out_path.empty()) {
+      util::write_file_atomic(out_path, json);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_drill: %s\n", e.what());
+    return 1;
+  }
+}

@@ -71,6 +71,25 @@ void FaultInjector::count_completion() {
                         " completed jobs");
 }
 
+std::uint64_t FaultInjector::stall_for(std::string_view site,
+                                       std::string_view key,
+                                       int attempt) const {
+  if (plan_.stall_rate <= 0.0 || plan_.stall_steps == 0) return 0;
+  // Salt 3 namespaces stall draws away from throws (1) and hangs (2); the
+  // attempt folds in so retries of one key redraw independently.
+  const std::uint64_t salt =
+      3 + (static_cast<std::uint64_t>(attempt) << 8);
+  return draw(site, key, salt) < plan_.stall_rate ? plan_.stall_steps : 0;
+}
+
+bool FaultInjector::should_overflow(std::string_view site,
+                                    std::string_view key, int attempt) const {
+  if (plan_.overflow_rate <= 0.0) return false;
+  const std::uint64_t salt =
+      4 + (static_cast<std::uint64_t>(attempt) << 8);
+  return draw(site, key, salt) < plan_.overflow_rate;
+}
+
 std::string FaultInjector::corrupt(std::string bytes) const {
   if (!plan_.corrupt_artifacts || bytes.empty()) return bytes;
   const std::size_t pos = mix_key(plan_.seed, "corrupt", "", bytes.size()) %

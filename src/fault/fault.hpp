@@ -20,6 +20,15 @@
 //               the CI smoke;
 //  * corruption — `corrupt()` flips one byte of an artifact about to be
 //               written, exercising CRC rejection on the read side.
+//  * stalls   — `stall_for()` reports how many *virtual* steps a (site,
+//               key, attempt) must delay before it proceeds. The serve
+//               drill uses it for slow clients and laggy processing; unlike
+//               hangs it models latency, not death, so the stalled work
+//               still completes (or trips an idle/deadline timeout).
+//  * overflow — `should_overflow()` forces a bounded-queue admission site
+//               to report "full" even when capacity remains, exercising
+//               reject-with-retry-after and load-shedding paths without
+//               needing a real arrival race.
 //
 // The default FaultPlan is inert: plan().any() == false and every hook is a
 // no-op, so production code paths can hold an injector unconditionally.
@@ -67,10 +76,20 @@ struct FaultPlan {
   std::uint64_t abort_after = 0;
   /// Flip one byte of artifacts passed through corrupt().
   bool corrupt_artifacts = false;
+  /// Probability that a (site, key, attempt) draws a latency stall of
+  /// `stall_steps` virtual steps (serve drill: slow clients, laggy
+  /// dequeues). 0 disables.
+  double stall_rate = 0.0;
+  /// Virtual steps a stalled (site, key, attempt) delays.
+  std::uint64_t stall_steps = 4;
+  /// Probability that a bounded-queue admission site reports overflow for a
+  /// (site, key, attempt) even though capacity remains. 0 disables.
+  double overflow_rate = 0.0;
 
   bool any() const {
     return throw_rate > 0.0 || hang_rate > 0.0 || !hang_keys.empty() ||
-           abort_after > 0 || corrupt_artifacts;
+           abort_after > 0 || corrupt_artifacts ||
+           (stall_rate > 0.0 && stall_steps > 0) || overflow_rate > 0.0;
   }
 };
 
@@ -100,6 +119,16 @@ class FaultInjector {
 
   /// Deterministically flips one byte when corrupt_artifacts is set.
   std::string corrupt(std::string bytes) const;
+
+  /// Virtual steps this (site, key, attempt) must stall before proceeding;
+  /// 0 = run now. Pure in (seed, site, key, attempt).
+  std::uint64_t stall_for(std::string_view site, std::string_view key,
+                          int attempt) const;
+
+  /// True when a bounded-queue admission at (site, key, attempt) must be
+  /// treated as overflowed. Pure in (seed, site, key, attempt).
+  bool should_overflow(std::string_view site, std::string_view key,
+                       int attempt) const;
 
  private:
   /// Uniform [0, 1) draw, pure in (seed, site, key, salt).

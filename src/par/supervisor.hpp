@@ -158,7 +158,6 @@ class Supervisor {
 
       CancelToken token;
       for (int attempt = 1;; ++attempt) {
-        token.reset();
         const std::uint64_t ticket = arm_watch(token);
         try {
           out.results[i].emplace(fn(i, token, attempt));
@@ -183,7 +182,20 @@ class Supervisor {
             return;
           }
           retried.fetch_add(1, std::memory_order_relaxed);
+          // Clear this attempt's deadline cancellation *before* the backoff
+          // so the retry starts clean, then re-check after it: a cancel
+          // arriving between retry scheduling and dispatch (an external
+          // holder of the token, e.g. a serve session being torn down) must
+          // land the job in quarantine exactly once — never be silently
+          // swallowed by a reset, never dispatch another attempt.
+          token.reset();
           backoff_sleep(i, attempt);
+          if (token.cancelled()) {
+            std::lock_guard<std::mutex> lock(record_mutex);
+            out.failures.push_back({i, attempt, true,
+                                    "cancelled before retry dispatch"});
+            return;
+          }
         }
       }
     });

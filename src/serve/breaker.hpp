@@ -1,0 +1,69 @@
+// CircuitBreaker: fault containment for the classify stage.
+//
+// Repeated classification faults (injected throws in drills, genuine bugs
+// or resource exhaustion in production) must not let the service burn its
+// whole budget re-failing: after `trip_after` consecutive faults the
+// breaker opens and the server degrades to abstain-only verdicts. After a
+// backoff the breaker half-opens and admits a single probe; a successful
+// probe closes it, a failed probe re-opens it with a longer backoff.
+//
+// The backoff reuses par::Supervisor's decorrelated-jitter policy —
+// uniform(base, min(cap, base * 3^trips)) — but measured in the server's
+// *virtual steps*, and drawn deterministically from (seed, trip count), so
+// a drill's breaker trajectory is a pure function of the fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsml::serve {
+
+struct BreakerConfig {
+  /// Consecutive classify faults that open the breaker.
+  int trip_after = 3;
+  /// Decorrelated-jitter re-probe backoff, in virtual steps: trip k waits
+  /// uniform(base, min(cap, base * 3^(k-1))) steps before half-opening.
+  std::uint64_t backoff_base_steps = 4;
+  std::uint64_t backoff_cap_steps = 64;
+  std::uint64_t seed = 42;
+
+  /// Throws std::runtime_error on out-of-range values.
+  void validate() const;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  const BreakerConfig& config() const { return config_; }
+  State state() const { return state_; }
+  bool open() const { return state_ != State::kClosed; }
+  int trips() const { return trips_; }
+
+  /// True when a classification may be attempted at `step`: always while
+  /// closed; while open, only once the backoff elapsed (which transitions
+  /// to half-open — the caller then owes exactly one probe outcome).
+  bool allow(std::uint64_t step);
+
+  /// Reports one classification outcome at `step`. A success closes the
+  /// breaker; a failure increments the consecutive-fault count and, at
+  /// trip_after (or any half-open failure), opens it with the next backoff.
+  void on_success();
+  void on_failure(std::uint64_t step);
+
+  /// "closed", "open (re-probe at step 42)", "half-open".
+  std::string describe() const;
+
+ private:
+  std::uint64_t backoff_steps() const;
+
+  BreakerConfig config_;
+  State state_ = State::kClosed;
+  int consecutive_faults_ = 0;
+  int trips_ = 0;
+  std::uint64_t reopen_step_ = 0;
+};
+
+}  // namespace fsml::serve

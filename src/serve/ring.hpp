@@ -1,0 +1,100 @@
+// BoundedRing: the admission boundary of the detection service.
+//
+// A fixed-capacity MPMC ring buffer with *reject-on-full* semantics:
+// try_push() never blocks and never grows the queue — a full ring is the
+// caller's signal to apply backpressure (retry-after) or shed load, which
+// is the serve layer's overload contract. Consumers drain FIFO; close()
+// stops admission while letting consumers drain everything already
+// accepted, so shutdown never silently drops in-flight work.
+//
+// Following the fsml::par design rules, this is a mutex+cv ring, not a
+// lock-free one: every queued item is a whole counter-sample batch whose
+// downstream cost (validation + classification) dwarfs queue overhead, and
+// the locked form makes the FIFO/drain guarantees trivially auditable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fsml::serve {
+
+template <class T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(std::size_t capacity) : buffer_(capacity) {
+    FSML_CHECK_MSG(capacity > 0, "BoundedRing capacity must be positive");
+  }
+
+  /// Accepts `item` unless the ring is full or closed. Never blocks; a
+  /// false return is the backpressure signal.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || size_ == buffer_.size()) return false;
+      buffer_[(head_ + size_) % buffer_.size()] = std::move(item);
+      ++size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Pops the oldest item, or nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  /// Blocks until an item is available or the ring is closed *and* fully
+  /// drained (nullopt). Every item accepted before close() is delivered.
+  std::optional<T> pop_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return size_ > 0 || closed_; });
+    return pop_locked();
+  }
+
+  /// Stops admission. Consumers drain the remaining items; pop_wait() then
+  /// returns nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::optional<T> pop_locked() {
+    if (size_ == 0) return std::nullopt;
+    std::optional<T> out(std::move(buffer_[head_]));
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    return out;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace fsml::serve

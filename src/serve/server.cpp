@@ -1,0 +1,452 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fsml::serve {
+
+namespace {
+
+core::RobustVerdict unknown_verdict(std::size_t repeats) {
+  core::RobustVerdict v;
+  v.known = false;
+  v.repeats = repeats;
+  return v;
+}
+
+std::string batch_key(std::uint64_t session, std::uint64_t sequence) {
+  return std::to_string(session) + ":" + std::to_string(sequence);
+}
+
+ServeConfig validated(ServeConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+void ServeConfig::validate() const {
+  if (queue_depth < 1 || queue_depth > (1u << 20))
+    throw std::runtime_error(
+        "ServeConfig: queue_depth must be 1..1048576 batches, got " +
+        std::to_string(queue_depth));
+  if (max_sessions < 1 || max_sessions > (1u << 24))
+    throw std::runtime_error(
+        "ServeConfig: max_sessions must be 1..16777216, got " +
+        std::to_string(max_sessions));
+  if (max_batches < 1 || max_batches > 1001)
+    throw std::runtime_error(
+        "ServeConfig: max_batches must be 1..1001 (the vote policy's repeat "
+        "ceiling), got " +
+        std::to_string(max_batches));
+  if (max_retry_after < 1 || max_retry_after > 1000)
+    throw std::runtime_error(
+        "ServeConfig: max_retry_after must be 1..1000, got " +
+        std::to_string(max_retry_after));
+  if (!(shed_watermark > 0.0) || shed_watermark > 1.0 ||
+      !(abstain_watermark > 0.0) || abstain_watermark > 1.0 ||
+      abstain_watermark < shed_watermark)
+    throw std::runtime_error(
+        "ServeConfig: need 0 < shed_watermark <= abstain_watermark <= 1");
+  if (classify_attempts < 1 || classify_attempts > 10)
+    throw std::runtime_error(
+        "ServeConfig: classify_attempts must be 1..10, got " +
+        std::to_string(classify_attempts));
+  if (classify_deadline.count() < 0)
+    throw std::runtime_error("ServeConfig: classify_deadline must be >= 0");
+  robust.validate();
+  breaker.validate();
+}
+
+std::string_view to_string(ServerState state) {
+  switch (state) {
+    case ServerState::kHealthy: return "healthy";
+    case ServerState::kShedding: return "shedding";
+    case ServerState::kAbstainOnly: return "abstain-only";
+    case ServerState::kDraining: return "draining";
+  }
+  return "healthy";
+}
+
+std::string HealthSnapshot::to_string() const {
+  std::string s = "state=" + std::string(serve::to_string(state));
+  s += " open=" + std::to_string(open_sessions);
+  s += " queue=" + std::to_string(queue_size) + "/" +
+       std::to_string(queue_capacity);
+  s += " admitted=" + std::to_string(admitted);
+  s += " verdicts=" +
+       std::to_string(verdicts_good + verdicts_bad_fs + verdicts_bad_ma);
+  s += " abstained=" + std::to_string(abstained);
+  s += " shed=" + std::to_string(shed);
+  s += " quarantined=" + std::to_string(quarantined);
+  s += " expired=" + std::to_string(expired);
+  s += " cancelled=" + std::to_string(cancelled);
+  s += " retry-after=" + std::to_string(retry_afters);
+  s += " classify-faults=" + std::to_string(classify_faults);
+  s += std::string(" breaker=") + (breaker_open ? "open" : "closed");
+  return s;
+}
+
+Server::Server(const core::FalseSharingDetector& detector,
+               par::ThreadPool& pool, ServeConfig config,
+               const fault::FaultInjector* injector)
+    : detector_(detector),
+      pool_(pool),
+      config_(validated(std::move(config))),
+      injector_(injector),
+      ring_(config_.queue_depth),
+      breaker_([&] {
+        BreakerConfig b = config_.breaker;
+        b.seed = config_.seed ^ 0x0b7ea4e5ULL;
+        return b;
+      }()) {
+  FSML_CHECK_MSG(detector_.trained(),
+                 "serve::Server needs a trained detector");
+  par::SupervisorConfig super;
+  super.max_attempts = config_.classify_attempts;
+  super.deadline = config_.classify_deadline;
+  super.backoff_base = std::chrono::milliseconds(0);
+  super.backoff_cap = std::chrono::milliseconds(0);
+  super.backoff_seed = config_.seed;
+  classify_super_ = std::make_unique<par::Supervisor>(pool_, super);
+}
+
+ServerState Server::state_locked() const {
+  if (draining_) return ServerState::kDraining;
+  if (breaker_.open()) return ServerState::kAbstainOnly;
+  const double occupancy = static_cast<double>(ring_.size()) /
+                           static_cast<double>(ring_.capacity());
+  if (occupancy >= config_.abstain_watermark) return ServerState::kAbstainOnly;
+  if (occupancy >= config_.shed_watermark) return ServerState::kShedding;
+  return ServerState::kHealthy;
+}
+
+std::uint64_t Server::retry_hint_locked() const {
+  // Enough virtual time for the queue to visibly move: an eighth of the
+  // session deadline, floor 1 step.
+  return std::max<std::uint64_t>(1, config_.deadline_steps / 8);
+}
+
+AdmitResult Server::open_session(std::uint64_t id, std::uint64_t step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) return {Admission::kClosed, 0};
+  if (sessions_.count(id) != 0) return {Admission::kDuplicate, 0};
+  if (sessions_.size() >= config_.max_sessions) {
+    ++stats_.retry_afters;
+    return {Admission::kRetryAfter, retry_hint_locked()};
+  }
+  const ServerState state = state_locked();
+  SessionInfo info;
+  info.opened_step = step;
+  info.last_step = step;
+  info.degraded = state != ServerState::kHealthy;
+  sessions_.emplace(id, std::move(info));
+  ++stats_.admitted;
+  if (state != ServerState::kHealthy) {
+    ++stats_.degraded_admissions;
+    return {Admission::kDegraded, 0};
+  }
+  return {Admission::kAdmitted, 0};
+}
+
+SubmitResult Server::submit(std::uint64_t id, const SampleBatch& batch,
+                            std::uint64_t step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {Submit::kUnknownSession, 0, ""};
+  SessionInfo& info = it->second;
+  info.last_step = std::max(info.last_step, step);
+
+  // Strict validation first: a malformed stream quarantines its session
+  // even while shedding — garbage must never linger as an open session.
+  ValidatedBatch validated = validate_batch(batch);
+  if (validated.status == BatchStatus::kMalformed) {
+    SubmitResult result{Submit::kQuarantined, 0, validated.detail};
+    finalize_locked(id, info, Outcome::kQuarantined,
+                    unknown_verdict(info.measurements.size()),
+                    std::move(validated.detail), step, pending_records_);
+    return result;
+  }
+
+  // Degraded, closed, or cancelled sessions absorb batches without
+  // queueing: their terminal record is already determined, and the queue
+  // capacity belongs to sessions that can still earn a verdict.
+  if (info.degraded || info.closed || info.token.cancelled() || draining_)
+    return {Submit::kAccepted, 0, ""};
+
+  if (validated.status == BatchStatus::kUnusable) {
+    // Honest-but-unclassifiable measurement: an empty vote, not an error.
+    if (info.measurements.size() < config_.max_batches) {
+      info.measurements.emplace_back(std::nullopt);
+      ++info.submitted;
+    }
+    return {Submit::kUnusable, 0, ""};
+  }
+
+  if (info.submitted >= config_.max_batches)
+    return {Submit::kAccepted, 0, ""};  // vote is full; extra batches absorb
+
+  const std::uint64_t sequence = info.submitted;
+  const bool forced_overflow =
+      injector_ != nullptr &&
+      injector_->should_overflow("serve.enqueue", batch_key(id, sequence),
+                                 static_cast<int>(info.rejections) + 1);
+  bool pushed = false;
+  if (!forced_overflow)
+    pushed = ring_.try_push({id, sequence, std::move(validated.features)});
+  if (!pushed) {
+    ++stats_.retry_afters;
+    if (++info.rejections > config_.max_retry_after) {
+      // Persistent overflow: shed this session to an explicit abstention
+      // rather than let it retry forever against a saturated queue.
+      info.degraded = true;
+    }
+    return {Submit::kRetryAfter, retry_hint_locked(), ""};
+  }
+  info.rejections = 0;
+  ++info.queued;
+  ++info.submitted;
+  ++stats_.batches_accepted;
+  return {Submit::kAccepted, 0, ""};
+}
+
+void Server::close_session(std::uint64_t id, std::uint64_t step) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  it->second.closed = true;
+  it->second.last_step = std::max(it->second.last_step, step);
+}
+
+void Server::cancel_session(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) it->second.token.cancel();
+}
+
+void Server::finalize_locked(std::uint64_t id, SessionInfo& info,
+                             Outcome outcome, core::RobustVerdict verdict,
+                             std::string detail, std::uint64_t step,
+                             std::vector<SessionRecord>& out) {
+  SessionRecord record;
+  record.id = id;
+  record.outcome = outcome;
+  record.verdict = verdict;
+  record.detail = std::move(detail);
+  record.opened_step = info.opened_step;
+  record.final_step = step;
+  out.push_back(std::move(record));
+
+  switch (outcome) {
+    case Outcome::kVerdict:
+      switch (verdict.mode) {
+        case trainers::Mode::kGood: ++stats_.verdicts_good; break;
+        case trainers::Mode::kBadFs: ++stats_.verdicts_bad_fs; break;
+        case trainers::Mode::kBadMa: ++stats_.verdicts_bad_ma; break;
+      }
+      break;
+    case Outcome::kAbstained: ++stats_.abstained; break;
+    case Outcome::kShed: ++stats_.shed; break;
+    case Outcome::kQuarantined: ++stats_.quarantined; break;
+    case Outcome::kExpired: ++stats_.expired; break;
+    case Outcome::kCancelled: ++stats_.cancelled; break;
+  }
+  sessions_.erase(id);
+}
+
+core::RobustVerdict Server::classify_session(const SessionInfo& info) const {
+  if (info.measurements.empty()) return unknown_verdict(0);
+  core::RobustConfig vote = config_.robust;
+  vote.repeats = static_cast<int>(info.measurements.size());
+  return detector_.classify_robust(
+      [&info](std::size_t r) { return info.measurements[r]; }, vote);
+}
+
+std::vector<SessionRecord> Server::tick(std::uint64_t step,
+                                        std::size_t service_rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tick_locked(step, service_rate);
+}
+
+std::vector<SessionRecord> Server::tick_locked(std::uint64_t step,
+                                               std::size_t service_rate) {
+  std::vector<SessionRecord> records = std::move(pending_records_);
+  pending_records_.clear();
+
+  // Service phase: drain up to service_rate batches from the ring; an
+  // injected stall consumes extra service budget, modelling a laggy
+  // dequeue without reordering the FIFO.
+  std::int64_t budget = static_cast<std::int64_t>(service_rate);
+  while (budget > 0) {
+    std::optional<QueuedBatch> item = ring_.try_pop();
+    if (!item) break;
+    std::int64_t cost = 1;
+    if (injector_ != nullptr)
+      cost += static_cast<std::int64_t>(injector_->stall_for(
+          "serve.dequeue", batch_key(item->session, item->sequence), 1));
+    budget -= cost;
+    ++stats_.batches_processed;
+    const auto it = sessions_.find(item->session);
+    if (it == sessions_.end()) continue;  // quarantined/cancelled meanwhile
+    SessionInfo& info = it->second;
+    if (info.queued > 0) --info.queued;
+    if (info.measurements.size() < config_.max_batches)
+      info.measurements.emplace_back(std::move(item->features));
+  }
+
+  // Expiry phase, in ascending id order: cancellations, deadlines, idle
+  // timeouts. Each produces an explicit record — never a silent drop.
+  std::vector<std::uint64_t> expired_ids;
+  std::vector<std::string> expired_reasons;
+  std::vector<Outcome> expired_outcomes;
+  for (const auto& [id, info] : sessions_) {
+    if (info.token.cancelled()) {
+      expired_ids.push_back(id);
+      expired_reasons.emplace_back("cancelled mid-flight");
+      expired_outcomes.push_back(Outcome::kCancelled);
+    } else if (config_.deadline_steps > 0 &&
+               step >= info.opened_step + config_.deadline_steps) {
+      expired_ids.push_back(id);
+      expired_reasons.emplace_back(
+          "deadline: no verdict within " +
+          std::to_string(config_.deadline_steps) + " steps");
+      expired_outcomes.push_back(Outcome::kExpired);
+    } else if (config_.idle_timeout_steps > 0 && !info.closed &&
+               step >= info.last_step + config_.idle_timeout_steps) {
+      expired_ids.push_back(id);
+      expired_reasons.emplace_back(
+          "idle: no client activity for " +
+          std::to_string(config_.idle_timeout_steps) + " steps");
+      expired_outcomes.push_back(Outcome::kExpired);
+    }
+  }
+  for (std::size_t k = 0; k < expired_ids.size(); ++k) {
+    SessionInfo& info = sessions_.at(expired_ids[k]);
+    finalize_locked(expired_ids[k], info, expired_outcomes[k],
+                    unknown_verdict(info.measurements.size()),
+                    std::move(expired_reasons[k]), step, records);
+  }
+
+  // Ready phase: sessions whose client closed and whose queued batches are
+  // all processed. Degraded (shed) sessions finalize to an explicit
+  // abstention; the rest classify on the pool under supervision.
+  std::vector<std::uint64_t> ready;
+  for (const auto& [id, info] : sessions_)
+    if (info.closed && info.queued == 0) ready.push_back(id);
+  std::vector<std::uint64_t> to_classify;
+  for (const std::uint64_t id : ready) {
+    SessionInfo& info = sessions_.at(id);
+    if (info.degraded) {
+      finalize_locked(id, info, Outcome::kShed,
+                      unknown_verdict(info.measurements.size()),
+                      "load shed: degraded admission or persistent overflow",
+                      step, records);
+    } else {
+      to_classify.push_back(id);
+    }
+  }
+
+  if (!to_classify.empty()) {
+    const bool was_open = breaker_.open();
+    if (was_open && !breaker_.allow(step)) {
+      // Abstain-only: the breaker is open and its backoff has not elapsed.
+      for (const std::uint64_t id : to_classify) {
+        SessionInfo& info = sessions_.at(id);
+        finalize_locked(id, info, Outcome::kShed,
+                        unknown_verdict(info.measurements.size()),
+                        "abstain-only: circuit breaker open", step, records);
+      }
+    } else {
+      // Half-open: classify only the first ready session as the probe;
+      // the rest stay queued for the next tick (or abstain if it fails).
+      std::vector<std::uint64_t> batch_ids = to_classify;
+      if (was_open) batch_ids.resize(1);
+
+      const auto supervised = classify_super_->run(
+          batch_ids.size(),
+          [this, &batch_ids](std::size_t k, par::CancelToken&, int attempt) {
+            const std::uint64_t id = batch_ids[k];
+            if (injector_ != nullptr)
+              injector_->maybe_throw("serve.classify", std::to_string(id),
+                                     attempt);
+            return classify_session(sessions_.at(id));
+          });
+
+      std::size_t failure_at = 0;
+      for (std::size_t k = 0; k < batch_ids.size(); ++k) {
+        SessionInfo& info = sessions_.at(batch_ids[k]);
+        if (supervised.results[k].has_value()) {
+          breaker_.on_success();
+          const core::RobustVerdict& verdict = *supervised.results[k];
+          if (verdict.known)
+            finalize_locked(batch_ids[k], info, Outcome::kVerdict, verdict,
+                            verdict.to_string(), step, records);
+          else
+            finalize_locked(batch_ids[k], info, Outcome::kAbstained, verdict,
+                            verdict.to_string(), step, records);
+        } else {
+          const par::JobFailure& failure = supervised.failures[failure_at++];
+          stats_.classify_faults +=
+              static_cast<std::uint64_t>(failure.attempts);
+          breaker_.on_failure(step);
+          finalize_locked(batch_ids[k], info, Outcome::kAbstained,
+                          unknown_verdict(info.measurements.size()),
+                          "classify faulted: " + failure.error, step,
+                          records);
+        }
+      }
+      stats_.breaker_trips = breaker_.trips();
+    }
+  }
+
+  return records;
+}
+
+std::vector<SessionRecord> Server::drain(std::uint64_t step,
+                                         std::size_t service_rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+  for (auto& [id, info] : sessions_) {
+    (void)id;
+    info.closed = true;
+  }
+  std::vector<SessionRecord> records;
+  const std::size_t rate = std::max<std::size_t>(service_rate, 1);
+  // Drain completeness: every queued batch is processed and every session
+  // finalized. The breaker backoff bounds the wait; the deadline is the
+  // hard backstop, so this terminates.
+  std::uint64_t guard = 0;
+  while (!sessions_.empty() || ring_.size() > 0) {
+    auto produced = tick_locked(step, rate);
+    records.insert(records.end(),
+                   std::make_move_iterator(produced.begin()),
+                   std::make_move_iterator(produced.end()));
+    ++step;
+    FSML_CHECK_MSG(++guard < 1000000,
+                   "serve::Server::drain failed to converge");
+  }
+  ring_.close();
+  return records;
+}
+
+ServerState Server::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_locked();
+}
+
+HealthSnapshot Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthSnapshot out = stats_;
+  out.state = state_locked();
+  out.open_sessions = sessions_.size();
+  out.queue_size = ring_.size();
+  out.queue_capacity = ring_.capacity();
+  out.breaker_trips = breaker_.trips();
+  out.breaker_open = breaker_.open();
+  return out;
+}
+
+}  // namespace fsml::serve

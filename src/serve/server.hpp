@@ -1,0 +1,253 @@
+// serve::Server — an overload-safe streaming detection service.
+//
+// Sessions of counter-sample batches are admitted, validated, queued
+// through a bounded ring onto the fsml::par pool, and classified with the
+// existing two-stage detector. Robustness is the load-bearing design: the
+// server's one invariant is that *every admitted session receives exactly
+// one terminal record*, and that under any combination of overload, stalls,
+// garbage streams, and classify faults that record is a correct verdict or
+// an explicit `unknown` abstention — never a guess. Concretely:
+//
+//  * admission control + backpressure — the ring never grows: a full queue
+//    rejects the batch with a retry-after hint; a session rejected too
+//    often is shed to an explicit abstention instead of queueing forever;
+//  * load shedding — queue occupancy drives a degraded-mode state machine
+//    (healthy → shedding → abstain-only → draining): shedding degrades
+//    *new* sessions to abstention while protecting admitted work,
+//    abstain-only stops queueing entirely, draining finishes what is in
+//    flight and admits nothing;
+//  * deadlines — per-session deadline and idle timeouts measured in the
+//    caller's virtual steps, plus a per-session CancelToken (the PR 3
+//    machinery) for mid-flight cancellation;
+//  * validation — strict per-batch schema checks (serve/session.hpp):
+//    malformed streams quarantine their session, never the server;
+//  * fault containment — classification runs under a par::Supervisor
+//    (bounded retries, optional watchdog deadline); repeated classify
+//    faults trip a CircuitBreaker whose decorrelated-jitter re-probe
+//    schedule degrades the server to abstain-only while open.
+//
+// Time is virtual: every entry point takes a monotonically non-decreasing
+// `step` chosen by the caller (a drill's event loop, or wall milliseconds
+// in production). All shedding/deadline/breaker decisions are pure
+// functions of (config, fault plan, call sequence), never of host
+// scheduling — which is what lets bench/serve_drill assert bit-identical
+// verdict sets across --jobs values.
+//
+// Thread safety: all public methods are mutex-guarded; submit() may be
+// called from many client threads while another thread ticks. Determinism
+// across --jobs is guaranteed for a fixed *call sequence* (the drill is
+// single-threaded by design); concurrent callers get linearized, conserved
+// sessions instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "fault/fault.hpp"
+#include "par/supervisor.hpp"
+#include "par/thread_pool.hpp"
+#include "serve/breaker.hpp"
+#include "serve/ring.hpp"
+#include "serve/session.hpp"
+
+namespace fsml::serve {
+
+struct ServeConfig {
+  /// Bounded ring capacity, in batches. The queue never grows past this.
+  std::size_t queue_depth = 256;
+  /// Concurrently open sessions; further opens get retry-after.
+  std::size_t max_sessions = 1024;
+  /// Batches one session may contribute to its vote.
+  std::size_t max_batches = 32;
+  /// Virtual steps from admission to forced finalization (0 = no deadline).
+  std::uint64_t deadline_steps = 96;
+  /// Virtual steps without client activity before an open session expires
+  /// (0 = no idle timeout).
+  std::uint64_t idle_timeout_steps = 24;
+  /// Full-queue rejections one session tolerates before it is shed.
+  std::size_t max_retry_after = 3;
+  /// Queue occupancy fractions entering shedding / abstain-only.
+  double shed_watermark = 0.75;
+  double abstain_watermark = 0.95;
+  /// Classification attempts per session (par::Supervisor retries).
+  int classify_attempts = 2;
+  /// Optional wall-clock watchdog per classify attempt (0 = off).
+  std::chrono::milliseconds classify_deadline{0};
+  /// Vote policy across a session's usable batches.
+  core::RobustConfig robust;
+  BreakerConfig breaker;
+  std::uint64_t seed = 42;
+
+  /// Throws std::runtime_error with an actionable message on out-of-range
+  /// values.
+  void validate() const;
+};
+
+/// Degraded-mode state machine, in degradation order.
+enum class ServerState : std::uint8_t {
+  kHealthy,
+  kShedding,
+  kAbstainOnly,
+  kDraining,
+};
+
+std::string_view to_string(ServerState state);
+
+/// Admission decision for open_session().
+enum class Admission : std::uint8_t {
+  kAdmitted,    ///< session open, batches welcome
+  kDegraded,    ///< admitted, but already destined for a shed abstention
+  kRetryAfter,  ///< at capacity — retry after `retry_after_steps`
+  kDuplicate,   ///< id already open
+  kClosed,      ///< server is draining / shut down
+};
+
+struct AdmitResult {
+  Admission admission = Admission::kClosed;
+  std::uint64_t retry_after_steps = 0;  ///< meaningful for kRetryAfter
+};
+
+/// Outcome of submit().
+enum class Submit : std::uint8_t {
+  kAccepted,        ///< queued (or absorbed, for degraded sessions)
+  kUnusable,        ///< honest-but-unclassifiable batch absorbed as a
+                    ///< no-vote measurement
+  kRetryAfter,      ///< queue full — retry after `retry_after_steps`
+  kQuarantined,     ///< malformed batch; session terminally quarantined
+  kUnknownSession,  ///< no such open session
+};
+
+struct SubmitResult {
+  Submit status = Submit::kUnknownSession;
+  std::uint64_t retry_after_steps = 0;
+  std::string detail;  ///< validation failure reason, when quarantined
+};
+
+/// Monitoring snapshot; all counters are cumulative since construction.
+struct HealthSnapshot {
+  ServerState state = ServerState::kHealthy;
+  std::size_t open_sessions = 0;
+  std::size_t queue_size = 0;
+  std::size_t queue_capacity = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t degraded_admissions = 0;
+  std::uint64_t retry_afters = 0;  ///< session opens + batch submits deferred
+  std::uint64_t verdicts_good = 0;
+  std::uint64_t verdicts_bad_fs = 0;
+  std::uint64_t verdicts_bad_ma = 0;
+  std::uint64_t abstained = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t batches_accepted = 0;
+  std::uint64_t batches_processed = 0;
+  std::uint64_t classify_faults = 0;
+  int breaker_trips = 0;
+  bool breaker_open = false;
+
+  std::uint64_t terminal_records() const {
+    return verdicts_good + verdicts_bad_fs + verdicts_bad_ma + abstained +
+           shed + quarantined + expired + cancelled;
+  }
+
+  std::string to_string() const;
+};
+
+class Server {
+ public:
+  /// The detector must outlive the server and be trained. `injector` (may
+  /// be null) supplies the chaos sites: "serve.enqueue" overflow,
+  /// "serve.dequeue" stalls, "serve.classify" throws.
+  Server(const core::FalseSharingDetector& detector, par::ThreadPool& pool,
+         ServeConfig config, const fault::FaultInjector* injector = nullptr);
+
+  const ServeConfig& config() const { return config_; }
+
+  /// Opens a session at virtual time `step`.
+  AdmitResult open_session(std::uint64_t id, std::uint64_t step);
+
+  /// Submits one sample batch for an open session.
+  SubmitResult submit(std::uint64_t id, const SampleBatch& batch,
+                      std::uint64_t step);
+
+  /// Marks the session complete; it finalizes once its queued batches have
+  /// been processed. Unknown or already-terminal ids are ignored.
+  void close_session(std::uint64_t id, std::uint64_t step);
+
+  /// Requests mid-flight cancellation; the session finalizes with an
+  /// explicit kCancelled record on the next tick.
+  void cancel_session(std::uint64_t id);
+
+  /// Advances virtual time: processes up to `service_rate` queued batches
+  /// (injected stalls consume extra service budget), expires deadlines and
+  /// idle sessions, classifies ready sessions on the pool, and returns the
+  /// terminal records produced — in ascending session-id order per
+  /// finalization class, deterministically.
+  std::vector<SessionRecord> tick(std::uint64_t step,
+                                  std::size_t service_rate);
+
+  /// Enters kDraining, closes every open session, and ticks until all
+  /// queued work is processed and every session has its terminal record.
+  /// No admitted session is ever silently dropped.
+  std::vector<SessionRecord> drain(std::uint64_t step,
+                                   std::size_t service_rate);
+
+  ServerState state() const;
+  HealthSnapshot snapshot() const;
+
+ private:
+  struct SessionInfo {
+    std::uint64_t opened_step = 0;
+    std::uint64_t last_step = 0;
+    /// Processed measurements; nullopt = honest-but-unusable batch.
+    std::vector<std::optional<pmu::FeatureVector>> measurements;
+    std::size_t queued = 0;      ///< batches accepted, not yet processed
+    std::size_t submitted = 0;   ///< batches accepted overall
+    std::size_t rejections = 0;  ///< consecutive full-queue rejections
+    bool closed = false;
+    bool degraded = false;  ///< admitted under shedding/abstain-only
+    /// Mid-flight cancellation signal (cancel_session flips it).
+    par::CancelToken token;
+  };
+
+  struct QueuedBatch {
+    std::uint64_t session = 0;
+    std::uint64_t sequence = 0;  ///< per-session batch index, for fault keys
+    pmu::FeatureVector features;
+  };
+
+  ServerState state_locked() const;
+  std::uint64_t retry_hint_locked() const;
+  void finalize_locked(std::uint64_t id, SessionInfo& info, Outcome outcome,
+                       core::RobustVerdict verdict, std::string detail,
+                       std::uint64_t step,
+                       std::vector<SessionRecord>& out);
+  core::RobustVerdict classify_session(const SessionInfo& info) const;
+  std::vector<SessionRecord> tick_locked(std::uint64_t step,
+                                         std::size_t service_rate);
+
+  const core::FalseSharingDetector& detector_;
+  par::ThreadPool& pool_;
+  ServeConfig config_;
+  const fault::FaultInjector* injector_;
+
+  mutable std::mutex mutex_;
+  BoundedRing<QueuedBatch> ring_;
+  std::map<std::uint64_t, SessionInfo> sessions_;
+  CircuitBreaker breaker_;
+  std::unique_ptr<par::Supervisor> classify_super_;
+  bool draining_ = false;
+  HealthSnapshot stats_;
+  /// Records produced outside tick (submit-time quarantines); the next
+  /// tick() drains them first, keeping record order deterministic.
+  std::vector<SessionRecord> pending_records_;
+};
+
+}  // namespace fsml::serve

@@ -1,0 +1,92 @@
+// Session-level types of the detection service: inbound sample batches,
+// strict validation, and terminal outcome records.
+//
+// A client session streams *sample batches* — one (event name → count) map
+// per measurement, the same abstraction boundary fsml::pmu exposes — and
+// eventually receives exactly one terminal SessionRecord. Following Röhl et
+// al.'s hardware-event-validation stance, every inbound batch is treated as
+// potentially malformed or partial:
+//
+//  * malformed (unknown event, duplicate event, negative / non-finite
+//    count) → the whole session is quarantined: a stream that lies once is
+//    not a measurement source, and a quarantined session can never turn
+//    into a wrong verdict;
+//  * partial (events missing — counter multiplexing; normalizer lost —
+//    dropped Instructions_Retired) → a legitimately degraded measurement:
+//    missing events become NaN feature slots for the C4.5 fractional-
+//    instance machinery, an unusable batch contributes an empty vote, and
+//    the session can still end in an honest verdict or abstention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "pmu/counters.hpp"
+
+namespace fsml::serve {
+
+/// One (event → count) sample as it arrives off the wire. Counts are
+/// doubles because perf-style interfaces report multiplex-scaled values.
+struct Sample {
+  std::string event;
+  double count = 0.0;
+};
+
+/// One measurement: a batch of samples read "simultaneously".
+using SampleBatch = std::vector<Sample>;
+
+/// Validation outcome of one batch.
+enum class BatchStatus : std::uint8_t {
+  kOk,         ///< usable measurement (possibly with missing events)
+  kUnusable,   ///< honest but unclassifiable (e.g. normalizer missing)
+  kMalformed,  ///< garbage — quarantines the session
+};
+
+struct ValidatedBatch {
+  BatchStatus status = BatchStatus::kMalformed;
+  std::string detail;  ///< human-readable reason for kUnusable/kMalformed
+  /// Normalized features with NaN in missing slots; meaningful only for
+  /// kOk.
+  pmu::FeatureVector features;
+};
+
+/// Validates one inbound batch against the Table-2 event schema. Never
+/// throws on bad input — a malformed stream is a verdict about the client,
+/// not an error in the server.
+ValidatedBatch validate_batch(const SampleBatch& batch);
+
+/// How a session ended. Everything except kVerdict is an explicit
+/// abstention: the service would rather say "unknown" than guess, so the
+/// zero-false-positive contract survives overload, garbage, and faults.
+enum class Outcome : std::uint8_t {
+  kVerdict,      ///< classified: verdict.known == true
+  kAbstained,    ///< votes too scattered / nothing usable / classify faulted
+  kShed,         ///< degraded by load-shedding or abstain-only mode
+  kQuarantined,  ///< malformed stream
+  kExpired,      ///< per-session deadline or idle timeout
+  kCancelled,    ///< cancelled mid-flight (client or operator)
+};
+
+std::string_view to_string(Outcome outcome);
+
+/// The single terminal record every admitted session receives.
+struct SessionRecord {
+  std::uint64_t id = 0;
+  Outcome outcome = Outcome::kAbstained;
+  core::RobustVerdict verdict;  ///< known only for kVerdict
+  std::string detail;
+  std::uint64_t opened_step = 0;
+  std::uint64_t final_step = 0;
+
+  /// Virtual-step latency from admission to the terminal record.
+  std::uint64_t latency_steps() const { return final_step - opened_step; }
+
+  /// Stable one-line form, used for fingerprinting verdict sets.
+  std::string to_string() const;
+};
+
+}  // namespace fsml::serve

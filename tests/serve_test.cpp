@@ -1,0 +1,490 @@
+// fsml::serve unit tests: the bounded ring's overload contract, strict
+// batch validation, the circuit breaker's trip/backoff schedule, and the
+// Server's admission / shedding / expiry / quarantine / drain state
+// machine. The suite names (ServeRing / ServeSession / CircuitBreaker /
+// ServeServer) are part of the TSan ctest filter in tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/training.hpp"
+#include "fault/fault.hpp"
+#include "pmu/events.hpp"
+#include "serve/breaker.hpp"
+#include "serve/ring.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+
+namespace {
+
+using namespace fsml;
+
+// ---- BoundedRing: reject-on-full, FIFO, drain-on-shutdown ------------------
+
+TEST(ServeRing, RejectsWhenFullAndRecoversAfterPop) {
+  serve::BoundedRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "full ring must reject, not grow";
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  const auto popped = ring.try_pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 0);  // FIFO
+  EXPECT_TRUE(ring.try_push(99));
+  EXPECT_FALSE(ring.try_push(100));
+}
+
+TEST(ServeRing, EmptyPopReturnsNullopt) {
+  serve::BoundedRing<int> ring(2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(ServeRing, FifoUnderConcurrentProducers) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  serve::BoundedRing<int> ring(64);
+  std::vector<int> consumed;
+  consumed.reserve(kProducers * kPerProducer);
+
+  std::thread consumer([&] {
+    for (int n = 0; n < kProducers * kPerProducer; ++n) {
+      const auto item = ring.pop_wait();
+      ASSERT_TRUE(item.has_value());
+      consumed.push_back(*item);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * 100000 + i;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+
+  // Conservation plus per-producer FIFO: each producer's items appear in
+  // the order it pushed them (the global interleaving is scheduling-
+  // dependent, the per-source order is not).
+  ASSERT_EQ(consumed.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::vector<int> next(kProducers, 0);
+  for (const int value : consumed) {
+    const int p = value / 100000;
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(value % 100000, next[static_cast<std::size_t>(p)]++);
+  }
+}
+
+TEST(ServeRing, CloseStopsAdmissionAndDrainsCompletely) {
+  serve::BoundedRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ring.try_push(i));
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  EXPECT_FALSE(ring.try_push(11)) << "closed ring must not admit";
+  // Every item accepted before close() is still delivered, in order.
+  for (int i = 0; i < 10; ++i) {
+    const auto item = ring.pop_wait();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(ring.pop_wait().has_value());  // drained + closed: no block
+}
+
+TEST(ServeRing, CloseWakesBlockedConsumers) {
+  serve::BoundedRing<int> ring(4);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(ring.pop_wait().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// ---- batch validation ------------------------------------------------------
+
+serve::SampleBatch full_batch(double scale = 1.0) {
+  serve::SampleBatch batch;
+  for (const pmu::EventInfo& info : pmu::westmere_event_table())
+    batch.push_back({std::string(info.name), 1000.0 * scale});
+  return batch;
+}
+
+TEST(ServeSession, AcceptsFullWellFormedBatch) {
+  const serve::ValidatedBatch v = serve::validate_batch(full_batch());
+  EXPECT_EQ(v.status, serve::BatchStatus::kOk);
+}
+
+TEST(ServeSession, UnknownEventIsMalformed) {
+  serve::SampleBatch batch = full_batch();
+  batch.push_back({"Totally_Made_Up.EVENT", 1.0});
+  const serve::ValidatedBatch v = serve::validate_batch(batch);
+  EXPECT_EQ(v.status, serve::BatchStatus::kMalformed);
+  EXPECT_NE(v.detail.find("unknown event"), std::string::npos);
+}
+
+TEST(ServeSession, DuplicateEventIsMalformed) {
+  serve::SampleBatch batch = full_batch();
+  batch.push_back(batch.front());
+  EXPECT_EQ(serve::validate_batch(batch).status,
+            serve::BatchStatus::kMalformed);
+}
+
+TEST(ServeSession, NonFiniteAndNegativeCountsAreMalformed) {
+  serve::SampleBatch batch = full_batch();
+  batch.front().count = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(serve::validate_batch(batch).status,
+            serve::BatchStatus::kMalformed);
+  batch = full_batch();
+  batch.front().count = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(serve::validate_batch(batch).status,
+            serve::BatchStatus::kMalformed);
+  batch = full_batch();
+  batch.front().count = -1.0;
+  EXPECT_EQ(serve::validate_batch(batch).status,
+            serve::BatchStatus::kMalformed);
+}
+
+TEST(ServeSession, CounterOverflowIsMalformed) {
+  serve::SampleBatch batch = full_batch();
+  batch.front().count = 0x1p49;  // beyond a 48-bit Westmere counter
+  EXPECT_EQ(serve::validate_batch(batch).status,
+            serve::BatchStatus::kMalformed);
+}
+
+TEST(ServeSession, MissingNormalizerIsUnusableNotMalformed) {
+  serve::SampleBatch batch;
+  for (const pmu::EventInfo& info : pmu::westmere_event_table())
+    if (info.name != "Instructions_Retired")
+      batch.push_back({std::string(info.name), 1000.0});
+  const serve::ValidatedBatch v = serve::validate_batch(batch);
+  EXPECT_EQ(v.status, serve::BatchStatus::kUnusable);
+  EXPECT_EQ(serve::validate_batch({}).status, serve::BatchStatus::kUnusable);
+}
+
+TEST(ServeSession, PartialBatchYieldsNaNFeatureSlots) {
+  // Only the normalizer and one event present: usable, with NaN in the
+  // missing slots for the C4.5 fractional-instance machinery.
+  serve::SampleBatch batch{{"Instructions_Retired", 1000000.0},
+                           {"Snoop_Response.HIT_M", 400.0}};
+  const serve::ValidatedBatch v = serve::validate_batch(batch);
+  ASSERT_EQ(v.status, serve::BatchStatus::kOk);
+  bool any_nan = false, any_finite = false;
+  for (const double x : v.features.values())
+    (std::isnan(x) ? any_nan : any_finite) = true;
+  EXPECT_TRUE(any_nan);
+  EXPECT_TRUE(any_finite);
+}
+
+// ---- circuit breaker -------------------------------------------------------
+
+serve::BreakerConfig breaker_config(int trip_after) {
+  serve::BreakerConfig config;
+  config.trip_after = trip_after;
+  config.backoff_base_steps = 4;
+  config.backoff_cap_steps = 16;
+  config.seed = 7;
+  return config;
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFaults) {
+  serve::CircuitBreaker breaker(breaker_config(3));
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.on_failure(0);
+  breaker.on_failure(1);
+  EXPECT_FALSE(breaker.open()) << "two faults must not trip trip_after=3";
+  breaker.on_failure(2);
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.allow(2)) << "backoff cannot elapse instantly";
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveCount) {
+  serve::CircuitBreaker breaker(breaker_config(3));
+  breaker.on_failure(0);
+  breaker.on_failure(1);
+  breaker.on_success();
+  breaker.on_failure(2);
+  breaker.on_failure(3);
+  EXPECT_FALSE(breaker.open()) << "a success must clear the fault streak";
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccessReopensOnFailure) {
+  serve::CircuitBreaker breaker(breaker_config(1));
+  breaker.on_failure(0);
+  ASSERT_TRUE(breaker.open());
+  // The backoff is in [base, cap]; by base+cap steps it has surely elapsed.
+  ASSERT_TRUE(breaker.allow(100));
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kHalfOpen);
+  breaker.on_success();
+  EXPECT_FALSE(breaker.open());
+
+  breaker.on_failure(200);
+  ASSERT_TRUE(breaker.allow(300));
+  breaker.on_failure(300);  // failed probe: reopen, longer backoff
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 3);
+  EXPECT_FALSE(breaker.allow(301));
+}
+
+TEST(CircuitBreaker, BackoffScheduleIsDeterministic) {
+  serve::CircuitBreaker a(breaker_config(1));
+  serve::CircuitBreaker b(breaker_config(1));
+  for (std::uint64_t step = 0; step < 200; step += 10) {
+    a.on_failure(step);
+    b.on_failure(step);
+    for (std::uint64_t probe = step; probe < step + 10; ++probe)
+      EXPECT_EQ(a.allow(probe), b.allow(probe)) << "step " << probe;
+  }
+  EXPECT_EQ(a.describe(), b.describe());
+}
+
+TEST(CircuitBreaker, ConfigValidateRejectsBadValues) {
+  serve::BreakerConfig config;
+  config.trip_after = 0;
+  EXPECT_THROW(serve::CircuitBreaker{config}, std::runtime_error);
+  config = {};
+  config.backoff_base_steps = 10;
+  config.backoff_cap_steps = 5;
+  EXPECT_THROW(serve::CircuitBreaker{config}, std::runtime_error);
+}
+
+// ---- Server state machine --------------------------------------------------
+
+/// Detector trained on the reduced mini-program grid, shared across the
+/// server tests (training costs a few seconds once).
+const core::FalseSharingDetector& shared_detector() {
+  static const core::FalseSharingDetector detector = [] {
+    core::FalseSharingDetector d;
+    d.train(core::collect_training_data(core::TrainingConfig::reduced()));
+    return d;
+  }();
+  return detector;
+}
+
+serve::ServeConfig small_config() {
+  serve::ServeConfig config;
+  config.queue_depth = 8;
+  config.max_sessions = 4;
+  config.max_batches = 8;
+  config.deadline_steps = 50;
+  config.idle_timeout_steps = 20;
+  config.max_retry_after = 2;
+  return config;
+}
+
+TEST(ServeServer, ConfigValidateRejectsBadValues) {
+  par::ThreadPool pool(1);
+  serve::ServeConfig config = small_config();
+  config.queue_depth = 0;
+  EXPECT_THROW(serve::Server(shared_detector(), pool, config),
+               std::runtime_error);
+  config = small_config();
+  config.shed_watermark = 0.9;
+  config.abstain_watermark = 0.5;  // must be >= shed
+  EXPECT_THROW(serve::Server(shared_detector(), pool, config),
+               std::runtime_error);
+}
+
+TEST(ServeServer, SessionReachesTerminalVerdictOrAbstention) {
+  par::ThreadPool pool(1);
+  serve::Server server(shared_detector(), pool, small_config());
+  ASSERT_EQ(server.open_session(1, 0).admission, serve::Admission::kAdmitted);
+  for (std::uint64_t j = 0; j < 3; ++j)
+    ASSERT_EQ(server.submit(1, full_batch(1.0 + 0.1 * j), j).status,
+              serve::Submit::kAccepted);
+  server.close_session(1, 3);
+  std::vector<serve::SessionRecord> records;
+  for (std::uint64_t step = 4; step < 10 && records.empty(); ++step) {
+    auto out = server.tick(step, 4);
+    records.insert(records.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_TRUE(records[0].outcome == serve::Outcome::kVerdict ||
+              records[0].outcome == serve::Outcome::kAbstained);
+  EXPECT_EQ(server.snapshot().terminal_records(), 1u);
+}
+
+TEST(ServeServer, AdmissionCapGivesRetryAfter) {
+  par::ThreadPool pool(1);
+  serve::Server server(shared_detector(), pool, small_config());
+  for (std::uint64_t id = 0; id < 4; ++id)
+    ASSERT_EQ(server.open_session(id, 0).admission,
+              serve::Admission::kAdmitted);
+  const serve::AdmitResult r = server.open_session(99, 0);
+  EXPECT_EQ(r.admission, serve::Admission::kRetryAfter);
+  EXPECT_GT(r.retry_after_steps, 0u);
+  EXPECT_EQ(server.open_session(2, 0).admission, serve::Admission::kDuplicate);
+}
+
+TEST(ServeServer, MalformedBatchQuarantinesSessionNotServer) {
+  par::ThreadPool pool(1);
+  serve::Server server(shared_detector(), pool, small_config());
+  ASSERT_EQ(server.open_session(1, 0).admission, serve::Admission::kAdmitted);
+  serve::SampleBatch garbage{{"Not_A_Westmere_Event", 1.0}};
+  const serve::SubmitResult r = server.submit(1, garbage, 1);
+  EXPECT_EQ(r.status, serve::Submit::kQuarantined);
+  EXPECT_NE(r.detail.find("unknown event"), std::string::npos);
+  // The session is terminally gone; the server keeps serving.
+  EXPECT_EQ(server.submit(1, full_batch(), 2).status,
+            serve::Submit::kUnknownSession);
+  ASSERT_EQ(server.open_session(2, 2).admission, serve::Admission::kAdmitted);
+  const auto records = server.tick(3, 4);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, serve::Outcome::kQuarantined);
+  EXPECT_EQ(server.snapshot().quarantined, 1u);
+}
+
+TEST(ServeServer, DeadlineAndIdleTimeoutsProduceExpiredRecords) {
+  par::ThreadPool pool(1);
+  serve::ServeConfig config = small_config();
+  config.deadline_steps = 30;
+  config.idle_timeout_steps = 5;
+  serve::Server server(shared_detector(), pool, config);
+  // Session 1 goes idle (never closed, no activity past step 0); session 2
+  // keeps submitting but overruns the absolute deadline.
+  ASSERT_EQ(server.open_session(1, 0).admission, serve::Admission::kAdmitted);
+  ASSERT_EQ(server.open_session(2, 0).admission, serve::Admission::kAdmitted);
+  std::vector<serve::SessionRecord> records;
+  for (std::uint64_t step = 1; step <= 31; ++step) {
+    if (step % 3 == 0) server.submit(2, full_batch(), step);
+    auto out = server.tick(step, 4);
+    records.insert(records.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, 1u);
+  EXPECT_EQ(records[0].outcome, serve::Outcome::kExpired);
+  EXPECT_LE(records[0].final_step, 6u);  // idle fired, not the deadline
+  EXPECT_EQ(records[1].id, 2u);
+  EXPECT_EQ(records[1].outcome, serve::Outcome::kExpired);
+  EXPECT_EQ(records[1].final_step, 30u);
+}
+
+TEST(ServeServer, CancelledSessionFinalizesWithCancelledRecord) {
+  par::ThreadPool pool(1);
+  serve::Server server(shared_detector(), pool, small_config());
+  ASSERT_EQ(server.open_session(1, 0).admission, serve::Admission::kAdmitted);
+  server.submit(1, full_batch(), 1);
+  server.cancel_session(1);
+  const auto records = server.tick(2, 4);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, serve::Outcome::kCancelled);
+}
+
+TEST(ServeServer, QueuePressureDegradesNewSessionsToShed) {
+  par::ThreadPool pool(1);
+  serve::ServeConfig config = small_config();
+  config.queue_depth = 4;
+  config.shed_watermark = 0.5;
+  config.abstain_watermark = 1.0;
+  serve::Server server(shared_detector(), pool, config);
+  ASSERT_EQ(server.open_session(1, 0).admission, serve::Admission::kAdmitted);
+  for (std::uint64_t j = 0; j < 3; ++j)
+    ASSERT_EQ(server.submit(1, full_batch(), 1).status,
+              serve::Submit::kAccepted);
+  EXPECT_EQ(server.state(), serve::ServerState::kShedding);
+  const serve::AdmitResult late = server.open_session(2, 1);
+  EXPECT_EQ(late.admission, serve::Admission::kDegraded);
+  server.close_session(2, 2);
+  // No service this tick (rate 0 processes nothing), but the degraded
+  // session still finalizes — to an explicit shed abstention.
+  std::vector<serve::SessionRecord> records;
+  for (std::uint64_t step = 2; step < 6 && records.empty(); ++step)
+    records = server.tick(step, 0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, 2u);
+  EXPECT_EQ(records[0].outcome, serve::Outcome::kShed);
+}
+
+TEST(ServeServer, PersistentOverflowShedsTheSession) {
+  par::ThreadPool pool(1);
+  serve::ServeConfig config = small_config();
+  config.queue_depth = 1;
+  config.max_retry_after = 1;
+  config.shed_watermark = 1.0;
+  config.abstain_watermark = 1.0;
+  serve::Server server(shared_detector(), pool, config);
+  ASSERT_EQ(server.open_session(1, 0).admission, serve::Admission::kAdmitted);
+  ASSERT_EQ(server.submit(1, full_batch(), 1).status, serve::Submit::kAccepted);
+  const serve::SubmitResult first = server.submit(1, full_batch(), 1);
+  EXPECT_EQ(first.status, serve::Submit::kRetryAfter);
+  EXPECT_GT(first.retry_after_steps, 0u);
+  EXPECT_EQ(server.submit(1, full_batch(), 2).status,
+            serve::Submit::kRetryAfter);  // beyond max_retry_after: shed
+  server.close_session(1, 3);
+  const auto records = server.drain(4, 4);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].outcome, serve::Outcome::kShed);
+  EXPECT_GE(server.snapshot().retry_afters, 2u);
+}
+
+TEST(ServeServer, ClassifyFaultsTripBreakerIntoAbstainOnly) {
+  par::ThreadPool pool(1);
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.throw_rate = 1.0;    // every classify attempt throws...
+  plan.throw_attempts = 10;  // ...on all supervised retries
+  const fault::FaultInjector injector(plan);
+  serve::ServeConfig config = small_config();
+  config.breaker.trip_after = 2;
+  config.breaker.backoff_base_steps = 100;  // stays open for the whole test
+  config.breaker.backoff_cap_steps = 100;
+  serve::Server server(shared_detector(), pool, config, &injector);
+
+  std::vector<serve::SessionRecord> records;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    // The breaker never *blocks* admission — once it is open, new sessions
+    // are admitted degraded (destined for an explicit shed abstention).
+    const serve::Admission admission =
+        server.open_session(id, id * 10).admission;
+    ASSERT_TRUE(admission == serve::Admission::kAdmitted ||
+                admission == serve::Admission::kDegraded);
+    server.submit(id, full_batch(), id * 10);
+    server.close_session(id, id * 10 + 1);
+    auto out = server.tick(id * 10 + 2, 4);
+    records.insert(records.end(), out.begin(), out.end());
+  }
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].outcome, serve::Outcome::kAbstained);
+  EXPECT_EQ(records[1].outcome, serve::Outcome::kAbstained);
+  // By the third session the breaker (trip_after=2) is open: abstain-only.
+  EXPECT_EQ(records[2].outcome, serve::Outcome::kShed);
+  const serve::HealthSnapshot health = server.snapshot();
+  EXPECT_TRUE(health.breaker_open);
+  EXPECT_EQ(health.state, serve::ServerState::kAbstainOnly);
+  EXPECT_GT(health.classify_faults, 0u);
+  EXPECT_GE(health.breaker_trips, 1);
+}
+
+TEST(ServeServer, DrainFinalizesEverySessionAndClosesAdmission) {
+  par::ThreadPool pool(1);
+  serve::Server server(shared_detector(), pool, small_config());
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_EQ(server.open_session(id, 0).admission,
+              serve::Admission::kAdmitted);
+    server.submit(id, full_batch(), 1);
+    // Session 3 is never closed by its client — drain closes it.
+  }
+  const auto records = server.drain(2, 2);
+  EXPECT_EQ(records.size(), 3u);
+  const serve::HealthSnapshot health = server.snapshot();
+  EXPECT_EQ(health.admitted, 3u);
+  EXPECT_EQ(health.terminal_records(), 3u);
+  EXPECT_EQ(health.open_sessions, 0u);
+  EXPECT_EQ(server.open_session(9, 100).admission, serve::Admission::kClosed);
+  EXPECT_EQ(server.state(), serve::ServerState::kDraining);
+}
+
+}  // namespace

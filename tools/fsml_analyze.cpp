@@ -34,6 +34,7 @@
 #include "par/parallel_for.hpp"
 #include "par/thread_pool.hpp"
 #include "pmu/events.hpp"
+#include "serve/drill.hpp"
 #include "trainers/trainer.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
@@ -102,6 +103,20 @@ int usage() {
       "            --demote-below=P     demotion cutoff (default 0.35)\n"
       "            --out=FILE           JSON artifact (default triage.json)\n"
       "            (plus every robustness option above)\n"
+      "  serve     run one seeded chaos drill against the streaming\n"
+      "            detection service (src/serve) and print its scorecard\n"
+      "            --sessions=N      drill clients (default 48, 1..100000)\n"
+      "            --queue-depth=N   bounded ring capacity (default 256)\n"
+      "            --max-sessions=N  concurrent session cap (default 1024)\n"
+      "            --deadline=N      per-session deadline, virtual steps\n"
+      "                              (default 96; 0 disables)\n"
+      "            --idle-timeout=N  idle expiry, virtual steps (default 24)\n"
+      "            --service-rate=N  batches processed per tick (default 4)\n"
+      "            --malformed=R --cancel=R     client misbehaviour rates\n"
+      "            --stall-rate=R --overflow-rate=R --throw-rate=R\n"
+      "                              injected chaos (see src/fault)\n"
+      "            --seed=N --jobs=N --model=FILE --load-model=FILE\n"
+      "            --out=FILE        JSON artifact (default empty: none)\n"
       "  list      available workloads and mini-programs\n"
       "  events    the modelled Westmere event table (paper Table 2)\n");
   return 2;
@@ -410,6 +425,81 @@ int cmd_triage(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_serve(const util::Cli& cli) {
+  // Every numeric flag goes through the validated get_*_in getters: an
+  // out-of-range --queue-depth is an actionable error at the CLI boundary,
+  // not a logic_error deep inside the ring.
+  serve::DrillConfig config;
+  config.sessions = static_cast<std::size_t>(
+      cli.get_int_in("sessions", 48, 1, 100000));
+  config.server.queue_depth = static_cast<std::size_t>(
+      cli.get_int_in("queue-depth", 256, 1, 1 << 20));
+  config.server.max_sessions = static_cast<std::size_t>(
+      cli.get_int_in("max-sessions", 1024, 1, 1 << 24));
+  config.server.deadline_steps = static_cast<std::uint64_t>(
+      cli.get_int_in("deadline", 96, 0, 1000000000));
+  config.server.idle_timeout_steps = static_cast<std::uint64_t>(
+      cli.get_int_in("idle-timeout", 24, 0, 1000000000));
+  config.service_rate = static_cast<std::size_t>(
+      cli.get_int_in("service-rate", 4, 1, 100000));
+  config.malformed_rate = cli.get_double_in("malformed", 0.0, 0.0, 1.0);
+  config.cancel_rate = cli.get_double_in("cancel", 0.0, 0.0, 1.0);
+  config.faults.stall_rate = cli.get_double_in("stall-rate", 0.0, 0.0, 1.0);
+  config.faults.overflow_rate =
+      cli.get_double_in("overflow-rate", 0.0, 0.0, 1.0);
+  config.faults.throw_rate = cli.get_double_in("throw-rate", 0.0, 0.0, 1.0);
+  config.faults.throw_attempts = 3;
+  config.seed = static_cast<std::uint64_t>(
+      cli.get_int_in("seed", 42, 0, std::numeric_limits<std::int64_t>::max()));
+  config.faults.seed = config.seed;
+  config.server.seed = config.seed;
+  config.jobs = cli_jobs(cli);
+  config.validate();
+
+  const core::FalseSharingDetector detector = load_or_train(cli);
+  const std::vector<core::EvalRun> templates =
+      serve::drill_templates(config.seed, config.jobs, &std::cerr);
+  const serve::DrillReport report =
+      serve::run_drill(detector, templates, config, &std::cerr);
+
+  std::printf("drill: %zu sessions, %llu admitted, %llu turned away\n",
+              report.sessions,
+              static_cast<unsigned long long>(report.admitted),
+              static_cast<unsigned long long>(report.turned_away));
+  util::Table table({"outcome", "count"});
+  table.set_align(1, util::Align::kRight);
+  table.add_row({"verdict", std::to_string(report.verdicts)});
+  table.add_row({"  correct", std::to_string(report.correct)});
+  table.add_row({"  false positives", std::to_string(report.false_positives)});
+  table.add_row({"abstained", std::to_string(report.abstained)});
+  table.add_row({"shed", std::to_string(report.shed)});
+  table.add_row({"quarantined", std::to_string(report.quarantined)});
+  table.add_row({"expired", std::to_string(report.expired)});
+  table.add_row({"cancelled", std::to_string(report.cancelled)});
+  table.add_row({"lost", std::to_string(report.lost_sessions)});
+  table.render(std::cout);
+  std::printf("p50/p99 latency: %llu/%llu steps, shed rate %.2f, "
+              "fingerprint %08x\n",
+              static_cast<unsigned long long>(report.latency_p50_steps),
+              static_cast<unsigned long long>(report.latency_p99_steps),
+              report.shed_rate, report.fingerprint);
+  std::printf("health: %s\n", report.health.to_string().c_str());
+
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    util::AtomicFile artifact(out);  // never leaves a torn JSON behind
+    artifact.stream() << "{\n  \"schema\": \"fsml-bench-serve-v1\",\n"
+                      << "  \"seed\": " << config.seed << ",\n"
+                      << "  \"sessions\": " << config.sessions << ",\n"
+                      << "  \"scenarios\": [\n";
+    report.write_json(artifact.stream(), "cli", config);
+    artifact.stream() << "\n  ]\n}\n";
+    artifact.commit();
+    std::printf("artifact -> %s\n", out.c_str());
+  }
+  return report.lost_sessions == 0 && report.false_positives == 0 ? 0 : 1;
+}
+
 int cmd_list() {
   std::printf("benchmark workload proxies:\n");
   for (const auto* w : workloads::all_workloads()) {
@@ -453,6 +543,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(cli);
     if (command == "robustness") return cmd_robustness(cli);
     if (command == "triage") return cmd_triage(cli);
+    if (command == "serve") return cmd_serve(cli);
     if (command == "list") return cmd_list();
     if (command == "events") return cmd_events();
   } catch (const std::exception& e) {
