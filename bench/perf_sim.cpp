@@ -15,10 +15,19 @@
 // and 129..256 as a 4-socket NUMA machine (the hierarchical sharer mask's
 // 128/256-core scenario family the paper's hardware could never express).
 //
-// Results are written to BENCH_sim.json (schema fsml-bench-sim-v2; rows
-// carry the socket count); CI runs this binary on every push and uploads
-// the artifact, so regressions show up as a trend break rather than an
-// anecdote.
+// A second sweep family measures the epoch-parallel scheduler
+// (Machine::set_host_threads): the good-mode sweep — the local-dominated
+// workloads the conservative-lookahead design overlaps — at several
+// simulated core counts and host-thread counts, asserting the simulated
+// access totals stay bit-identical to serial. Wall-clock speedup is only
+// expressible when the host actually has CPUs to spare, so the artifact
+// records host_cpus and the speedup assertion is opt-in
+// (--assert-parallel-speedup) for runners known to be multi-core.
+//
+// Results are written to BENCH_sim.json (schema fsml-bench-sim-v3; rows
+// carry the socket count, host-thread count and workload family); CI runs
+// this binary on every push and uploads the artifact, so regressions show
+// up as a trend break rather than an anecdote.
 //
 // Options (beyond bench_common.hpp's standard ones):
 //   --cores=1,8,16,32,128,256  simulated core counts to sweep (1..256;
@@ -26,9 +35,18 @@
 //   --reps=2            timed repetitions per configuration (best is kept)
 //   --out=BENCH_sim.json  JSON artifact path (empty string disables)
 //   --no-reference      skip the linear-scan baseline (faster CI tracking)
+//   --par-cores=32,128,256     simulated core counts for the parallel sweep
+//   --no-parallel       skip the parallel sweep entirely
+//   --host-threads=1,2,4,8     host-thread counts for the parallel sweep
+//   --assert-parallel-speedup=X  fail unless some parallel row at the
+//                          smallest --par-cores point reaches X times the
+//                          serial good-mode throughput (0 = off; only
+//                          meaningful on hosts with enough CPUs)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -69,11 +87,20 @@ sim::MachineConfig sweep_machine(std::uint32_t cores) {
   return sim::MachineConfig::numa(sockets, cores / sockets);
 }
 
+/// Which trainer modes a sweep covers: the full collection grid, or the
+/// good-mode (local-dominated) subset the parallel scheduler overlaps.
+enum class SweepWorkload { kAll, kGood };
+
 SweepResult run_sweep(std::uint32_t cores, bool use_directory, int reps,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, SweepWorkload workload,
+                      std::uint32_t host_threads = 1) {
   sim::MachineConfig machine = sweep_machine(cores);
   machine.num_cores = cores;
-  machine.use_coherence_directory = use_directory;
+  if (workload == SweepWorkload::kAll) {
+    // The directory-vs-scan comparison forces each protocol explicitly;
+    // parallel rows keep the auto-select policy (directory above 2 cores).
+    machine.use_coherence_directory = use_directory;
+  }
 
   SweepResult best;
   for (int rep = 0; rep < reps; ++rep) {
@@ -83,6 +110,8 @@ SweepResult run_sweep(std::uint32_t cores, bool use_directory, int reps,
       for (const trainers::Mode mode :
            {trainers::Mode::kGood, trainers::Mode::kBadFs,
             trainers::Mode::kBadMa}) {
+        if (workload == SweepWorkload::kGood && mode != trainers::Mode::kGood)
+          continue;
         if (mode == trainers::Mode::kBadMa && !program->supports_bad_ma())
           continue;
         trainers::TrainerParams params;
@@ -90,6 +119,7 @@ SweepResult run_sweep(std::uint32_t cores, bool use_directory, int reps,
         params.threads = cores;
         params.size = program->default_sizes().front();
         params.seed = seed;
+        params.sim_host_threads = host_threads;
         const trainers::TrainerRun run =
             trainers::run_trainer(*program, params, machine);
         accesses += retired_accesses(run.raw);
@@ -122,6 +152,22 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const std::string out = cli.get("out", "BENCH_sim.json");
   const bool reference = !cli.has("no-reference");
+  const std::vector<std::int64_t> par_cores =
+      cli.get_int_list("par-cores", {32, 128, 256}, 1, 256);
+  const std::vector<std::int64_t> host_threads_list =
+      cli.get_int_list("host-threads", {1, 2, 4, 8}, 1, 1024);
+  const double assert_speedup =
+      cli.get_double("assert-parallel-speedup", 0.0);
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  // Satellite regression guard: the 1-core directory row of
+  // fsml-bench-sim-v2 showed the probe overhead losing to scanning the only
+  // other L2 (0.946x); the auto-select policy must pick the scan at <= 2
+  // cores and the directory above.
+  FSML_CHECK_MSG(!sweep_machine(1).directory_enabled() &&
+                     !sim::MachineConfig::tiny(2).directory_enabled() &&
+                     sim::MachineConfig::tiny(3).directory_enabled(),
+                 "coherence-protocol auto-select policy regressed");
 
   util::Table table(
       reference
@@ -132,8 +178,9 @@ int main(int argc, char** argv) {
   for (std::size_t col = 1; col < table.num_columns(); ++col)
     table.set_align(col, util::Align::kRight);
 
-  std::string json = "{\n  \"schema\": \"fsml-bench-sim-v2\",\n  \"reps\": " +
-                     std::to_string(reps) + ",\n  \"results\": [";
+  std::string json = "{\n  \"schema\": \"fsml-bench-sim-v3\",\n  \"reps\": " +
+                     std::to_string(reps) + ",\n  \"host_cpus\": " +
+                     std::to_string(host_cpus) + ",\n  \"results\": [";
   bool first = true;
   for (const std::int64_t cores64 : cores_list) {
     FSML_CHECK_MSG(cores64 >= 1 && cores64 <= 256,
@@ -141,7 +188,7 @@ int main(int argc, char** argv) {
     const auto cores = static_cast<std::uint32_t>(cores64);
     const std::uint32_t sockets = sweep_machine(cores).topology.sockets;
     const SweepResult dir = run_sweep(cores, /*use_directory=*/true, reps,
-                                      seed);
+                                      seed, SweepWorkload::kAll);
     std::vector<std::string> row{std::to_string(cores),
                                  std::to_string(dir.accesses),
                                  util::auto_time(dir.seconds),
@@ -149,8 +196,8 @@ int main(int argc, char** argv) {
                                      dir.accesses / dir.seconds))};
     double scan_seconds = 0.0;
     if (reference) {
-      const SweepResult scan =
-          run_sweep(cores, /*use_directory=*/false, reps, seed);
+      const SweepResult scan = run_sweep(cores, /*use_directory=*/false, reps,
+                                         seed, SweepWorkload::kAll);
       FSML_CHECK_MSG(scan.accesses == dir.accesses,
                      "directory and scan must simulate identical sweeps");
       scan_seconds = scan.seconds;
@@ -168,6 +215,7 @@ int main(int argc, char** argv) {
     if (reference) {
       std::snprintf(entry, sizeof entry,
                     "\n    {\"cores\": %u, \"sockets\": %u, "
+                    "\"host_threads\": 1, \"workload\": \"all\", "
                     "\"accesses\": %llu, "
                     "\"directory_seconds\": %.6f, \"scan_seconds\": %.6f, "
                     "\"directory_accesses_per_sec\": %.0f, "
@@ -179,6 +227,7 @@ int main(int argc, char** argv) {
     } else {
       std::snprintf(entry, sizeof entry,
                     "\n    {\"cores\": %u, \"sockets\": %u, "
+                    "\"host_threads\": 1, \"workload\": \"all\", "
                     "\"accesses\": %llu, "
                     "\"directory_seconds\": %.6f, "
                     "\"directory_accesses_per_sec\": %.0f}",
@@ -190,11 +239,75 @@ int main(int argc, char** argv) {
     json += entry;
     first = false;
   }
-  json += "\n  ]\n}\n";
 
   std::cout << "Simulator throughput: standard mini-program sweep, best of "
             << reps << " rep(s)\n";
   table.render(std::cout);
+
+  // ---- epoch-parallel sweep (good-mode workloads) -------------------------
+  double best_speedup_at_target = 0.0;
+  if (!cli.has("no-parallel")) {
+    util::Table par_table(std::vector<std::string>{
+        "cores", "host threads", "sim accesses", "wall", "acc/s", "speedup"});
+    for (std::size_t col = 1; col < par_table.num_columns(); ++col)
+      par_table.set_align(col, util::Align::kRight);
+
+    for (const std::int64_t cores64 : par_cores) {
+      const auto cores = static_cast<std::uint32_t>(cores64);
+      const std::uint32_t sockets = sweep_machine(cores).topology.sockets;
+      double serial_seconds = 0.0;
+      std::uint64_t serial_accesses = 0;
+      for (const std::int64_t h64 : host_threads_list) {
+        const auto h = static_cast<std::uint32_t>(h64);
+        const SweepResult r = run_sweep(cores, /*use_directory=*/true, reps,
+                                        seed, SweepWorkload::kGood, h);
+        if (h == 1) {
+          serial_seconds = r.seconds;
+          serial_accesses = r.accesses;
+        } else if (serial_accesses != 0) {
+          // Bench-level bit-identity: the parallel scheduler must simulate
+          // the exact same accesses as the serial one.
+          FSML_CHECK_MSG(r.accesses == serial_accesses,
+                         "parallel sweep diverged from the serial access "
+                         "count — bit-identity broken");
+        }
+        const double speedup =
+            serial_seconds > 0.0 ? serial_seconds / r.seconds : 1.0;
+        char speedup_str[32];
+        std::snprintf(speedup_str, sizeof speedup_str, "%.2fx", speedup);
+        par_table.add_row({std::to_string(cores), std::to_string(h),
+                           std::to_string(r.accesses),
+                           util::auto_time(r.seconds),
+                           std::to_string(static_cast<std::uint64_t>(
+                               r.accesses / r.seconds)),
+                           speedup_str});
+        char entry[384];
+        std::snprintf(entry, sizeof entry,
+                      "\n    {\"cores\": %u, \"sockets\": %u, "
+                      "\"host_threads\": %u, \"workload\": \"good\", "
+                      "\"accesses\": %llu, \"seconds\": %.6f, "
+                      "\"accesses_per_sec\": %.0f, "
+                      "\"speedup_vs_serial\": %.3f}",
+                      cores, sockets, h,
+                      static_cast<unsigned long long>(r.accesses), r.seconds,
+                      r.accesses / r.seconds, speedup);
+        json += (first ? "" : ",");
+        json += entry;
+        first = false;
+        if (assert_speedup > 0.0 && cores64 == par_cores.front())
+          best_speedup_at_target = std::max(best_speedup_at_target, speedup);
+      }
+    }
+    std::cout << "\nEpoch-parallel scheduler: good-mode sweep, " << host_cpus
+              << " host CPU(s)\n";
+    par_table.render(std::cout);
+    if (assert_speedup > 0.0)
+      FSML_CHECK_MSG(best_speedup_at_target >= assert_speedup,
+                     "epoch-parallel speedup regressed below the asserted "
+                     "floor at the smallest --par-cores point");
+  }
+
+  json += "\n  ]\n}\n";
   if (!out.empty()) {
     util::write_file_atomic(out, json);
     std::cout << "wrote " << out << "\n";

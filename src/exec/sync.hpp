@@ -32,10 +32,18 @@ class SpinLock {
   std::uint64_t contended_acquisitions() const { return contended_; }
 
   /// One atomic test-and-set attempt; true when the lock was taken.
-  auto try_acquire(ThreadCtx& ctx) {
+  /// count_contention bumps the contended counter when the lock is found
+  /// held — inside the fn-op, because lock statistics are cross-thread
+  /// host state and parallel runs only serialize fn-op callbacks (plain
+  /// coroutine-body code in different core groups runs concurrently).
+  auto try_acquire(ThreadCtx& ctx, bool count_contention = false) {
     return ctx.op(addr_, 8, sim::AccessType::kRmw,
-                  [this, core = ctx.core()](sim::AccessResult) {
-                    if (held_) return false;
+                  [this, core = ctx.core(), count_contention](
+                      sim::AccessResult) {
+                    if (held_) {
+                      if (count_contention) ++contended_;
+                      return false;
+                    }
                     held_ = true;
                     owner_ = core;
                     ++acquisitions_;
@@ -57,9 +65,8 @@ class SpinLock {
   /// nested coroutines (the frame loses its resume point mid-condition);
   /// binding the result first sidesteps the bug.
   SimTask acquire(ThreadCtx& ctx) {
-    const bool first_try = co_await try_acquire(ctx);
+    const bool first_try = co_await try_acquire(ctx, /*count_contention=*/true);
     if (first_try) co_return;
-    ++contended_;
     for (;;) {
       for (;;) {
         const bool busy = co_await peek(ctx);

@@ -1,0 +1,52 @@
+#include "par/worker_group.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace fsml::par {
+
+void SpinBackoff::pause() {
+  ++spins_;
+  if (spins_ < 64) {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_pause();
+#endif
+    return;
+  }
+  if (spins_ < 320) {
+    std::this_thread::yield();
+    return;
+  }
+  // Sustained starvation: the peer this thread is waiting on is not being
+  // scheduled (oversubscribed host). Stop burning its CPU time slice.
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+}
+
+void WorkerGroup::run(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) {
+  FSML_CHECK(n >= 1);
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  const auto body = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  for (std::size_t i = 1; i < n; ++i) threads.emplace_back(body, i);
+  body(0);
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace fsml::par

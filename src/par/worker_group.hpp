@@ -1,0 +1,39 @@
+// A fork-join worker group: spawn N workers, run one function per worker,
+// join them all, propagate the first failure.
+//
+// This is the minimal primitive the epoch-parallel simulator needs — unlike
+// ThreadPool there is no queue and no sharing of workers across uses; each
+// run() owns its threads for the duration, which is exactly right for a
+// gang of cooperating peers that spin on each other's progress (pooled
+// workers that can block on unrelated work would deadlock such a gang).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+namespace fsml::par {
+
+/// Cooperative spin-wait backoff for threads polling shared state: cheap
+/// CPU pause instructions first, escalating to yields so an oversubscribed
+/// host (more workers than cores) still makes progress.
+class SpinBackoff {
+ public:
+  void pause();
+  void reset() { spins_ = 0; }
+
+ private:
+  unsigned spins_ = 0;
+};
+
+/// Runs `fn(0) .. fn(n-1)` on `n` dedicated threads (the calling thread
+/// runs fn(0)), joins them all, then rethrows the lowest-index exception if
+/// any worker failed. Workers that need richer failure semantics (e.g.
+/// "report the error of the earliest simulated event") coordinate through
+/// their own shared state and simply return.
+class WorkerGroup {
+ public:
+  static void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+};
+
+}  // namespace fsml::par

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "sim/cycle_model.hpp"
@@ -41,7 +42,19 @@ struct MachineConfig {
   /// L2. Both paths are bit-identical — same counters, same cycles, same
   /// training bytes (a regression test enforces it); the scan survives
   /// purely as the cross-validation reference and perf baseline.
-  bool use_coherence_directory = true;
+  ///
+  /// Unset (the default) auto-selects: the directory pays off once peer
+  /// scans visit more than a couple of cores, but on 1-2 core machines its
+  /// hash maintenance costs more than the scan it replaces (the 1-core
+  /// BENCH_sim regression), so small machines keep the legacy scan unless
+  /// a value is explicitly forced.
+  std::optional<bool> use_coherence_directory;
+
+  /// The resolved protocol choice: the forced value, or the core-count
+  /// auto-selection rule.
+  bool directory_enabled() const {
+    return use_coherence_directory.value_or(num_cores > 2);
+  }
 
   void validate() const;
 

@@ -99,7 +99,7 @@ TEST(TrainingBitIdentity, CoherenceDirectoryDoesNotChangeCacheBytes) {
   core::TrainingConfig config = core::TrainingConfig::reduced();
   config.thread_counts = {3};
   config.jobs = 2;
-  ASSERT_TRUE(config.machine.use_coherence_directory);
+  ASSERT_TRUE(config.machine.directory_enabled());
   const core::TrainingData with_dir = core::collect_training_data(config);
 
   core::TrainingConfig reference = config;

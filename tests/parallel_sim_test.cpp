@@ -1,0 +1,656 @@
+// Tests for the epoch-parallel scheduler (Machine::set_host_threads): the
+// whole point of the design is that running one simulated machine across N
+// host threads is *bit-identical* to the serial discrete-event loop — every
+// per-access latency, every raw counter, every derived feature. These tests
+// enforce that contract across kernel shapes (local-heavy, false sharing,
+// RMW, sync primitives, straddles, yields), machine topologies (single
+// socket and 2-socket NUMA), and host-thread counts, plus the failure paths
+// (cancellation, cycle budget, kernel exceptions) and the serial fallbacks.
+//
+// CI runs the whole file under TSan as well (the `Parallel|Epoch` filter):
+// the gate protocol's memory ordering is part of what is under test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <initializer_list>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/training.hpp"
+#include "exec/machine.hpp"
+#include "exec/sync.hpp"
+#include "sim/machine_config.hpp"
+#include "trainers/trainer.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace fsml;
+
+// ---- harness ---------------------------------------------------------------
+
+/// Everything observable about one run that the parallel scheduler must
+/// reproduce exactly.
+struct Capture {
+  exec::RunResult result;
+  std::vector<sim::RawCounters> per_core;
+  /// Per-thread latency trace recorded by the kernels themselves (the
+  /// co_await results, in program order — the finest-grained observable).
+  std::vector<std::vector<sim::Cycles>> latencies;
+};
+
+/// A scenario owns the machine setup: allocate simulated data, then spawn
+/// one kernel per thread that appends each access latency to its trace.
+using Scenario = std::function<void(exec::Machine&,
+                                    std::vector<std::vector<sim::Cycles>>&)>;
+
+Capture run_scenario(const sim::MachineConfig& config,
+                     const Scenario& scenario, std::uint32_t host_threads,
+                     std::uint64_t seed = 42) {
+  exec::Machine m(config, seed);
+  m.set_host_threads(host_threads);
+  Capture cap;
+  scenario(m, cap.latencies);
+  cap.result = m.run();
+  cap.per_core.reserve(config.num_cores);
+  for (sim::CoreId c = 0; c < config.num_cores; ++c)
+    cap.per_core.push_back(m.memory().counters(c));
+  return cap;
+}
+
+void expect_counters_eq(const sim::RawCounters& a, const sim::RawCounters& b,
+                        const std::string& what) {
+  for (std::size_t i = 0; i < sim::kNumRawEvents; ++i) {
+    const auto e = static_cast<sim::RawEvent>(i);
+    EXPECT_EQ(a.get(e), b.get(e))
+        << what << ": counter " << sim::raw_event_name(e) << " diverged";
+  }
+}
+
+void expect_identical(const Capture& serial, const Capture& par,
+                      const std::string& what) {
+  EXPECT_EQ(serial.result.total_cycles, par.result.total_cycles) << what;
+  EXPECT_EQ(serial.result.core_cycles, par.result.core_cycles) << what;
+  EXPECT_EQ(serial.result.memory_ops, par.result.memory_ops) << what;
+  EXPECT_EQ(serial.result.instructions, par.result.instructions) << what;
+  expect_counters_eq(serial.result.aggregate, par.result.aggregate,
+                     what + " aggregate");
+  ASSERT_EQ(serial.per_core.size(), par.per_core.size());
+  for (std::size_t c = 0; c < serial.per_core.size(); ++c)
+    expect_counters_eq(serial.per_core[c], par.per_core[c],
+                       what + " core " + std::to_string(c));
+  ASSERT_EQ(serial.latencies.size(), par.latencies.size()) << what;
+  for (std::size_t t = 0; t < serial.latencies.size(); ++t)
+    EXPECT_EQ(serial.latencies[t], par.latencies[t])
+        << what << ": per-access latency trace of thread " << t;
+}
+
+/// Runs the scenario serially and at each host-thread count, asserting the
+/// parallel runs are bit-identical to the serial one.
+void check_bit_identity(const sim::MachineConfig& config,
+                        const Scenario& scenario, const std::string& what,
+                        std::initializer_list<std::uint32_t> host_threads = {
+                            2, 4}) {
+  const Capture serial = run_scenario(config, scenario, 1);
+  for (const std::uint32_t h : host_threads) {
+    const Capture par = run_scenario(config, scenario, h);
+    expect_identical(serial, par,
+                     what + " @ host_threads=" + std::to_string(h));
+  }
+}
+
+// ---- bit-identity across kernel shapes ------------------------------------
+
+TEST(ParallelBitIdentity, LocalHeavyPaddedSlots) {
+  // Each thread hammers its own padded line: after warmup everything is an
+  // L1 hit, i.e. the all-local fast path the speedup target lives on.
+  const std::uint32_t kThreads = 8;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 400; ++i) {
+          const sim::AccessResult r = co_await ctx.load(a);
+          tr[t].push_back(r.latency);
+          const sim::AccessResult w = co_await ctx.store(a);
+          tr[t].push_back(w.latency);
+          ctx.compute(3);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::westmere_dp(8), scenario,
+                     "local-heavy");
+}
+
+TEST(ParallelBitIdentity, FalseSharingPackedSlots) {
+  // Packed slots: every store invalidates the neighbours — the all-cross
+  // worst case, where the parallel engine degenerates to serial commit
+  // order. Correctness must hold even when there is nothing to overlap.
+  const std::uint32_t kThreads = 6;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/false);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 250; ++i) {
+          const sim::AccessResult w = co_await ctx.store(a);
+          tr[t].push_back(w.latency);
+          const sim::AccessResult r = co_await ctx.load(a);
+          tr[t].push_back(r.latency);
+          ctx.compute(1);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::westmere_dp(6), scenario, "bad-fs");
+}
+
+TEST(ParallelBitIdentity, RmwOnOwnLineStaysLocal) {
+  // The false1-good shape: an RMW on the thread's own padded slot plus a
+  // periodic read of a read-shared line. The RMW must classify local (M/E
+  // silent upgrade) or this kernel serializes.
+  const std::uint32_t kThreads = 8;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+    const sim::Addr shared_ro = m.arena().alloc_line_aligned(64);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t],
+               shared_ro](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 300; ++i) {
+          const sim::AccessResult r = co_await ctx.rmw(a);
+          tr[t].push_back(r.latency);
+          if (i % 16 == 0) {
+            const sim::AccessResult s = co_await ctx.load(shared_ro);
+            tr[t].push_back(s.latency);
+          }
+          ctx.compute(2);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::westmere_dp(8), scenario,
+                     "rmw-local");
+}
+
+TEST(ParallelBitIdentity, SyncPrimitivesCommitInOrder) {
+  // fn-ops (SpinLock, SpinBarrier) mutate shared host state and must commit
+  // under global mutual exclusion in exact serial order — the final counter
+  // value and every latency prove they did.
+  const std::uint32_t kThreads = 6;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    auto lock = std::make_shared<exec::SpinLock>(m.arena());
+    auto barrier = std::make_shared<exec::SpinBarrier>(m.arena(), kThreads);
+    auto counter = std::make_shared<std::uint64_t>(0);
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t], lock, barrier,
+               counter](exec::ThreadCtx& ctx) -> exec::SimTask {
+        co_await barrier->wait(ctx);
+        for (int i = 0; i < 40; ++i) {
+          co_await lock->acquire(ctx);
+          *counter += 1;
+          co_await lock->release(ctx);
+          const sim::AccessResult r = co_await ctx.load(a);
+          tr[t].push_back(r.latency);
+          ctx.compute(4);
+        }
+        co_await barrier->wait(ctx);
+        tr[t].push_back(static_cast<sim::Cycles>(*counter));
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::westmere_dp(6), scenario,
+                     "sync-primitives");
+}
+
+TEST(ParallelBitIdentity, LineStraddlesAndStrides) {
+  // Accesses spanning two lines are never local; strided scans trigger the
+  // stream prefetcher whose bursts touch shared DRAM channel state.
+  const std::uint32_t kThreads = 4;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const sim::Addr region = m.arena().alloc_line_aligned(64 * 256);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, region](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 200; ++i) {
+          // Unaligned 8-byte access at offset 60 of a line: straddle.
+          const sim::Addr straddle = region + (i % 64) * 64 + 60;
+          const sim::AccessResult r = co_await ctx.load(straddle);
+          tr[t].push_back(r.latency);
+          // Sequential walk (stream prefetch) interleaved per thread.
+          const sim::Addr seq = region + ((i + t * 64) % 256) * 64;
+          const sim::AccessResult s = co_await ctx.store(seq);
+          tr[t].push_back(s.latency);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::westmere_dp(4), scenario,
+                     "straddle-stride");
+}
+
+TEST(ParallelBitIdentity, YieldsAndComputeOnly) {
+  // Threads that mostly yield/compute exercise the unarmed-pending path and
+  // the deferred instruction-count flush at thread completion.
+  const std::uint32_t kThreads = 5;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 300; ++i) {
+          ctx.compute(5 + t);
+          co_await ctx.yield();
+          if (i % 7 == 0) {
+            const sim::AccessResult r = co_await ctx.load(a);
+            tr[t].push_back(r.latency);
+          }
+        }
+        ctx.compute(1000);  // trailing counts flush at completion
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::westmere_dp(5), scenario,
+                     "yield-compute");
+}
+
+TEST(ParallelBitIdentity, XeonThirtyTwoCores) {
+  // The speedup-target topology: 32 threads on xeon32, mixed local/shared.
+  const std::uint32_t kThreads = 32;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+    const sim::Addr shared = m.arena().alloc_line_aligned(64);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t],
+               shared](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 120; ++i) {
+          const sim::AccessResult r = co_await ctx.load(a);
+          tr[t].push_back(r.latency);
+          co_await ctx.store(a);
+          if (i % 24 == t % 24) {
+            const sim::AccessResult s = co_await ctx.rmw(shared);
+            tr[t].push_back(s.latency);
+          }
+          ctx.compute(2);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::xeon32(32), scenario, "xeon32",
+                     {2, 4, 8});
+}
+
+TEST(ParallelBitIdentity, NumaTwoSocketScatter) {
+  // 2-socket NUMA with scatter placement: cross-socket coherence and QPI
+  // hops in the cross path, per-socket L3s and DRAM controllers.
+  const std::uint32_t kThreads = 16;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    m.set_thread_placement(exec::ThreadPlacement::kScatter);
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/false);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 150; ++i) {
+          const sim::AccessResult w = co_await ctx.store(a);
+          tr[t].push_back(w.latency);
+          ctx.compute(2);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::numa(2, 8), scenario,
+                     "numa-2s-scatter");
+}
+
+TEST(ParallelBitIdentity, NumaLargeDualSocket) {
+  // The 2x64 wall-breaker topology from the NUMA PR, now epoch-parallel:
+  // 128 simulated threads, mostly-local kernels with a per-socket shared
+  // line.
+  const std::uint32_t kThreads = 128;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+    const sim::Addr shared0 = m.arena().alloc_line_aligned(64);
+    const sim::Addr shared1 = m.arena().alloc_line_aligned(64);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      const sim::Addr shared = (t < 64) ? shared0 : shared1;
+      m.spawn([&tr, t, a = slots[t],
+               shared](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 60; ++i) {
+          const sim::AccessResult r = co_await ctx.load(a);
+          tr[t].push_back(r.latency);
+          co_await ctx.store(a);
+          if (i % 30 == t % 30) co_await ctx.rmw(shared);
+          ctx.compute(3);
+        }
+      });
+    }
+  };
+  check_bit_identity(sim::MachineConfig::numa(2, 64), scenario, "numa-2x64",
+                     {4});
+}
+
+TEST(ParallelBitIdentity, TrainerFeaturesMatchSerial) {
+  // End to end through run_trainer: features and raw counters of a real
+  // mini-program are bit-identical at any sim_host_threads.
+  for (const trainers::Mode mode :
+       {trainers::Mode::kGood, trainers::Mode::kBadFs}) {
+    trainers::TrainerParams params;
+    params.mode = mode;
+    params.threads = 8;
+    params.size = 2000;
+    params.seed = 7;
+    const trainers::MiniProgram& program =
+        *trainers::multithreaded_set().front();
+    const trainers::TrainerRun serial =
+        trainers::run_trainer(program, params, sim::MachineConfig::tiny(8));
+    params.sim_host_threads = 4;
+    const trainers::TrainerRun par =
+        trainers::run_trainer(program, params, sim::MachineConfig::tiny(8));
+    EXPECT_EQ(serial.result.total_cycles, par.result.total_cycles);
+    EXPECT_EQ(serial.result.core_cycles, par.result.core_cycles);
+    expect_counters_eq(serial.raw, par.raw, "trainer aggregate");
+    for (std::size_t f = 0; f < pmu::kNumFeatures; ++f)
+      EXPECT_DOUBLE_EQ(serial.features.at(f), par.features.at(f))
+          << "feature " << f;
+  }
+}
+
+TEST(ParallelBitIdentity, TrainingCacheBytesIdentical) {
+  // The whole reduced collection grid, serialized: sim_host_threads=4 must
+  // produce the exact same training-cache bytes as the serial scheduler
+  // (the same property the directory and jobs-parallelism PRs enforced).
+  // jobs=1 and host_threads=2 keep the spin overhead bounded on small CI
+  // hosts — the bit-identity property is host-topology-independent.
+  core::TrainingConfig config = core::TrainingConfig::reduced();
+  config.thread_counts = {4};
+  config.jobs = 1;
+  const core::TrainingData serial = core::collect_training_data(config);
+
+  core::TrainingConfig par_config = config;
+  par_config.sim_host_threads = 2;
+  const core::TrainingData par = core::collect_training_data(par_config);
+
+  std::stringstream a, b;
+  serial.save_csv(a);
+  par.save_csv(b);
+  ASSERT_EQ(serial.instances.size(), par.instances.size());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// ---- serial fallbacks ------------------------------------------------------
+
+TEST(ParallelBitIdentity, SlicingFallsBackToSerial) {
+  // enable_slicing() samples global counters mid-run, which has no parallel
+  // equivalent: the run must silently use the serial loop and produce the
+  // serial slices.
+  const std::uint32_t kThreads = 4;
+  const Scenario scenario = [=](exec::Machine& m,
+                                std::vector<std::vector<sim::Cycles>>& tr) {
+    m.enable_slicing(2000);
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), kThreads, /*padded=*/false);
+    tr.resize(kThreads);
+    for (std::uint32_t t = 0; t < kThreads; ++t) {
+      m.spawn([&tr, t, a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 200; ++i) {
+          const sim::AccessResult w = co_await ctx.store(a);
+          tr[t].push_back(w.latency);
+        }
+      });
+    }
+  };
+  const Capture serial = run_scenario(sim::MachineConfig::tiny(4), scenario,
+                                      /*host_threads=*/1);
+  const Capture par = run_scenario(sim::MachineConfig::tiny(4), scenario,
+                                   /*host_threads=*/4);
+  expect_identical(serial, par, "slicing fallback");
+  ASSERT_FALSE(par.result.slices.empty());
+  ASSERT_EQ(serial.result.slices.size(), par.result.slices.size());
+  for (std::size_t s = 0; s < serial.result.slices.size(); ++s)
+    expect_counters_eq(serial.result.slices[s], par.result.slices[s],
+                       "slice " + std::to_string(s));
+}
+
+class CountingObserver : public sim::AccessObserver {
+ public:
+  void on_access(const sim::AccessRecord&) override { ++accesses_; }
+  std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  std::uint64_t accesses_ = 0;
+};
+
+TEST(ParallelBitIdentity, ObserversFallBackToSerial) {
+  // Access observers see every access at a global point in time; their
+  // presence forces the serial loop (and they still see everything).
+  exec::Machine m(sim::MachineConfig::tiny(4), 42);
+  m.set_host_threads(4);
+  CountingObserver obs;
+  m.memory().add_observer(&obs);
+  const std::vector<sim::Addr> slots =
+      trainers::make_slots(m.arena(), 4, /*padded=*/true);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    m.spawn([a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (int i = 0; i < 50; ++i) co_await ctx.store(a);
+    });
+  }
+  const exec::RunResult r = m.run();
+  EXPECT_EQ(obs.accesses(), r.memory_ops);
+  EXPECT_EQ(r.memory_ops, 4u * 50u);
+}
+
+// ---- failure paths ---------------------------------------------------------
+
+TEST(ParallelCancellation, PresetFlagCancelsPromptly) {
+  exec::Machine m(sim::MachineConfig::westmere_dp(8), 1);
+  m.set_host_threads(4);
+  std::atomic<bool> cancel{true};
+  m.set_cancel_flag(&cancel);
+  const std::vector<sim::Addr> slots =
+      trainers::make_slots(m.arena(), 8, /*padded=*/true);
+  for (std::uint32_t t = 0; t < 8; ++t) {
+    m.spawn([a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (int i = 0; i < 2'000'000; ++i) co_await ctx.load(a);
+    });
+  }
+  EXPECT_THROW(m.run(), exec::Cancelled);
+}
+
+TEST(ParallelCancellation, MidRunFlagStopsAnUnboundedKernel) {
+  // Workers must poll the flag from every wait loop: an unbounded kernel
+  // terminates only because cancellation reaches the gang.
+  exec::Machine m(sim::MachineConfig::westmere_dp(4), 1);
+  m.set_host_threads(4);
+  std::atomic<bool> cancel{false};
+  m.set_cancel_flag(&cancel);
+  const std::vector<sim::Addr> slots =
+      trainers::make_slots(m.arena(), 4, /*padded=*/true);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    m.spawn([a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+      for (;;) co_await ctx.load(a);
+    });
+  }
+  std::thread trigger([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.store(true);
+  });
+  EXPECT_THROW(m.run(), exec::Cancelled);
+  trigger.join();
+}
+
+TEST(ParallelMachine, CycleBudgetFailsLikeSerial) {
+  const auto build = [](exec::Machine& m) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), 4, /*padded=*/true);
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      m.spawn([a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 1'000'000; ++i) co_await ctx.load(a);
+      });
+    }
+  };
+  exec::Machine serial(sim::MachineConfig::tiny(4), 1);
+  build(serial);
+  EXPECT_THROW(serial.run(/*max_cycles=*/5000), util::CheckFailure);
+
+  exec::Machine par(sim::MachineConfig::tiny(4), 1);
+  par.set_host_threads(4);
+  build(par);
+  EXPECT_THROW(par.run(/*max_cycles=*/5000), util::CheckFailure);
+}
+
+TEST(ParallelMachine, FirstKernelExceptionWinsLikeSerial) {
+  // Two kernels throw at different virtual times; both schedulers must
+  // surface the earlier one.
+  const auto build = [](exec::Machine& m) {
+    const std::vector<sim::Addr> slots =
+        trainers::make_slots(m.arena(), 6, /*padded=*/true);
+    for (std::uint32_t t = 0; t < 6; ++t) {
+      m.spawn([t, a = slots[t]](exec::ThreadCtx& ctx) -> exec::SimTask {
+        for (int i = 0; i < 500; ++i) {
+          co_await ctx.load(a);
+          if (t == 2 && i == 10) throw std::runtime_error("boom-early");
+          if (t == 4 && i == 400) throw std::runtime_error("boom-late");
+        }
+      });
+    }
+  };
+  std::string serial_what;
+  {
+    exec::Machine m(sim::MachineConfig::tiny(6), 1);
+    build(m);
+    try {
+      m.run();
+      FAIL() << "expected a kernel exception";
+    } catch (const std::runtime_error& e) {
+      serial_what = e.what();
+    }
+  }
+  EXPECT_EQ(serial_what, "boom-early");
+  {
+    exec::Machine m(sim::MachineConfig::tiny(6), 1);
+    m.set_host_threads(4);
+    build(m);
+    try {
+      m.run();
+      FAIL() << "expected a kernel exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()), serial_what);
+    }
+  }
+}
+
+// ---- epoch-horizon fuzz ----------------------------------------------------
+
+TEST(EpochFuzz, RandomKernelsCommitInSerialOrderAcrossSeeds) {
+  // Seeded random kernels mixing private/shared loads, stores, RMWs, line
+  // straddles, yields and compute. For every seed: (a) counters and
+  // latency traces are bit-identical to serial, and (b) the commit log of
+  // cross-group accesses comes out strictly increasing in packed
+  // (clock, tid) — no access ever committed out of serial order.
+  const std::uint32_t kThreads = 12;
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull, 99991ull}) {
+    const Scenario scenario = [=](exec::Machine& m,
+                                  std::vector<std::vector<sim::Cycles>>& tr) {
+      const std::vector<sim::Addr> priv =
+          trainers::make_slots(m.arena(), kThreads, /*padded=*/true);
+      const sim::Addr shared = m.arena().alloc_line_aligned(64 * 4);
+      tr.resize(kThreads);
+      for (std::uint32_t t = 0; t < kThreads; ++t) {
+        m.spawn([&tr, t, a = priv[t],
+                 shared](exec::ThreadCtx& ctx) -> exec::SimTask {
+          for (int i = 0; i < 220; ++i) {
+            const std::uint64_t r = ctx.rng().next();
+            const bool go_shared = (r >> 8) % 4 == 0;
+            sim::Addr addr = go_shared ? shared + ((r >> 16) % 32) * 8 : a;
+            if ((r >> 24) % 16 == 0) addr = shared + ((r >> 16) % 4) * 64 + 60;
+            const std::uint64_t what = r % 100;
+            if (what < 50) {
+              const sim::AccessResult res = co_await ctx.load(addr);
+              tr[t].push_back(res.latency);
+            } else if (what < 80) {
+              const sim::AccessResult res = co_await ctx.store(addr);
+              tr[t].push_back(res.latency);
+            } else if (what < 90) {
+              const sim::AccessResult res = co_await ctx.rmw(addr);
+              tr[t].push_back(res.latency);
+            } else if (what < 95) {
+              co_await ctx.yield();
+            } else {
+              ctx.compute(1 + what % 7);
+            }
+          }
+        });
+      }
+    };
+    const sim::MachineConfig config = sim::MachineConfig::westmere_dp(12);
+    const Capture serial = run_scenario(config, scenario, 1, seed);
+    for (const std::uint32_t h : {2u, 4u}) {
+      exec::Machine m(config, seed);
+      m.set_host_threads(h);
+      m.set_record_commit_log(true);
+      Capture par;
+      scenario(m, par.latencies);
+      par.result = m.run();
+      for (sim::CoreId c = 0; c < config.num_cores; ++c)
+        par.per_core.push_back(m.memory().counters(c));
+      expect_identical(serial, par,
+                       "fuzz seed " + std::to_string(seed) +
+                           " @ host_threads=" + std::to_string(h));
+      const std::vector<std::uint64_t>& log = m.commit_log();
+      ASSERT_FALSE(log.empty());
+      for (std::size_t i = 1; i < log.size(); ++i)
+        ASSERT_LT(log[i - 1], log[i])
+            << "cross access committed out of (clock, tid) order at index "
+            << i << " (seed " << seed << ", host_threads " << h << ")";
+    }
+  }
+}
+
+// ---- directory auto-select (satellite) ------------------------------------
+
+TEST(DirectoryAutoSelect, SmallMachinesUseTheSnoopScan) {
+  // At 1-2 cores a directory probe costs more than scanning the only other
+  // L2 (the 0.946x row in BENCH_sim.json); auto-select turns it off there
+  // unless explicitly forced.
+  EXPECT_FALSE(sim::MachineConfig::tiny(1).directory_enabled());
+  EXPECT_FALSE(sim::MachineConfig::tiny(2).directory_enabled());
+  EXPECT_TRUE(sim::MachineConfig::tiny(3).directory_enabled());
+  EXPECT_TRUE(sim::MachineConfig::westmere_dp(12).directory_enabled());
+
+  sim::MachineConfig forced_on = sim::MachineConfig::tiny(2);
+  forced_on.use_coherence_directory = true;
+  EXPECT_TRUE(forced_on.directory_enabled());
+  sim::MachineConfig forced_off = sim::MachineConfig::westmere_dp(12);
+  forced_off.use_coherence_directory = false;
+  EXPECT_FALSE(forced_off.directory_enabled());
+}
+
+}  // namespace
