@@ -1,8 +1,11 @@
 #include "ml/c45.hpp"
 
+#include "ml/flat_tree.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <numeric>
 #include <ostream>
 #include <sstream>
@@ -374,7 +377,7 @@ namespace {
 /// branches in proportion to the training weight each branch received.
 void accumulate_distribution(const C45Tree::Node& node,
                              std::span<const double> x, double weight,
-                             std::vector<double>& out) {
+                             std::span<double> out) {
   if (node.is_leaf) {
     const double total = std::accumulate(node.class_counts.begin(),
                                          node.class_counts.end(), 0.0);
@@ -407,6 +410,16 @@ void accumulate_distribution(const C45Tree::Node& node,
 
 int C45Tree::predict(std::span<const double> x) const {
   FSML_CHECK_MSG(root_ != nullptr, "C45Tree is not trained");
+  const std::size_t k = root_->class_counts.size();
+  double inline_buf[16];
+  if (k <= 16) return predict(x, std::span<double>(inline_buf, k));
+  std::vector<double> scratch(k);
+  return predict(x, scratch);
+}
+
+int C45Tree::predict(std::span<const double> x,
+                     std::span<double> scratch) const {
+  FSML_CHECK_MSG(root_ != nullptr, "C45Tree is not trained");
   const Node* node = root_.get();
   while (!node->is_leaf) {
     const double v = x[node->attribute];
@@ -414,10 +427,13 @@ int C45Tree::predict(std::span<const double> x) const {
       // Fractional descent from here on; argmax of the combined
       // distribution (ties resolve to the lowest class index, like
       // max_element over class_counts does on the fast path).
-      std::vector<double> dist(node->class_counts.size(), 0.0);
-      accumulate_distribution(*node, x, 1.0, dist);
+      FSML_CHECK_MSG(scratch.size() == root_->class_counts.size(),
+                     "predict scratch must have the trained class arity");
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      accumulate_distribution(*node, x, 1.0, scratch);
       return static_cast<int>(std::distance(
-          dist.begin(), std::max_element(dist.begin(), dist.end())));
+          scratch.begin(),
+          std::max_element(scratch.begin(), scratch.end())));
     }
     node = v <= node->threshold ? node->left.get() : node->right.get();
   }
@@ -429,6 +445,31 @@ std::vector<double> C45Tree::distribution(std::span<const double> x) const {
   std::vector<double> dist(root_->class_counts.size(), 0.0);
   accumulate_distribution(*root_, x, 1.0, dist);
   return dist;
+}
+
+void C45Tree::distribution_into(std::span<const double> x,
+                                std::span<double> out) const {
+  FSML_CHECK_MSG(root_ != nullptr, "C45Tree is not trained");
+  FSML_CHECK_MSG(out.size() == root_->class_counts.size(),
+                 "distribution buffer must have the trained class arity");
+  std::fill(out.begin(), out.end(), 0.0);
+  accumulate_distribution(*root_, x, 1.0, out);
+}
+
+void C45Tree::classify_many(std::span<const double> xs, std::size_t stride,
+                            std::span<int> out) const {
+  FSML_CHECK_MSG(root_ != nullptr, "C45Tree is not trained");
+  FSML_CHECK_MSG(stride >= 1, "classify_many stride must be >= 1");
+  FSML_CHECK_MSG(xs.size() >= stride * out.size(),
+                 "classify_many input block shorter than out.size() rows");
+  std::vector<double> scratch(root_->class_counts.size());
+  for (std::size_t r = 0; r < out.size(); ++r)
+    out[r] = predict(xs.subspan(r * stride, stride), scratch);
+}
+
+std::shared_ptr<const FlatTree> C45Tree::compile() const {
+  if (!root_) return nullptr;
+  return std::make_shared<const FlatTree>(FlatTree::compile(*this));
 }
 
 namespace {
@@ -554,6 +595,11 @@ std::vector<std::size_t> C45Tree::used_attributes() const {
 
 void C45Tree::save(std::ostream& os) const {
   FSML_CHECK_MSG(root_ != nullptr, "cannot save an untrained tree");
+  // max_digits10 makes the text round trip exact: fractional leaf counts
+  // (missing-value training splits instances fractionally) must reload to
+  // the same bits, or a recompiled FlatTree would drift from the original.
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "fsml-c45 v1\n";
   os << "classes " << class_names_.size();
   for (const auto& c : class_names_) os << ' ' << c;
@@ -562,6 +608,7 @@ void C45Tree::save(std::ostream& os) const {
   for (const auto& a : attribute_names_) os << ' ' << a;
   os << '\n';
   save_node(*root_, os);
+  os.precision(old_precision);
 }
 
 C45Tree C45Tree::load(std::istream& is, C45Params params) {

@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -87,6 +89,13 @@ std::string HealthSnapshot::to_string() const {
   s += " retry-after=" + std::to_string(retry_afters);
   s += " classify-faults=" + std::to_string(classify_faults);
   s += std::string(" breaker=") + (breaker_open ? "open" : "closed");
+  char classify[96];
+  std::snprintf(classify, sizeof classify,
+                " classify=%s/p50=%.1fus/p99=%.1fus/calls=%llu",
+                use_flat_tree ? "flat" : "pointer", classify_p50_us,
+                classify_p99_us,
+                static_cast<unsigned long long>(classify_calls));
+  s += classify;
   return s;
 }
 
@@ -365,15 +374,27 @@ std::vector<SessionRecord> Server::tick_locked(std::uint64_t step,
       std::vector<std::uint64_t> batch_ids = to_classify;
       if (was_open) batch_ids.resize(1);
 
+      // Per-call wall time for the HealthSnapshot percentiles. Workers
+      // write disjoint slots; run() joins before they are read.
+      std::vector<std::uint64_t> call_ns(batch_ids.size(), 0);
       const auto supervised = classify_super_->run(
           batch_ids.size(),
-          [this, &batch_ids](std::size_t k, par::CancelToken&, int attempt) {
+          [this, &batch_ids, &call_ns](std::size_t k, par::CancelToken&,
+                                       int attempt) {
             const std::uint64_t id = batch_ids[k];
             if (injector_ != nullptr)
               injector_->maybe_throw("serve.classify", std::to_string(id),
                                      attempt);
-            return classify_session(sessions_.at(id));
+            const auto t0 = std::chrono::steady_clock::now();
+            core::RobustVerdict verdict = classify_session(sessions_.at(id));
+            call_ns[k] = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            return verdict;
           });
+      for (const std::uint64_t ns : call_ns)
+        if (ns > 0) classify_ns_.push_back(ns);
 
       std::size_t failure_at = 0;
       for (std::size_t k = 0; k < batch_ids.size(); ++k) {
@@ -446,6 +467,20 @@ HealthSnapshot Server::snapshot() const {
   out.queue_capacity = ring_.capacity();
   out.breaker_trips = breaker_.trips();
   out.breaker_open = breaker_.open();
+  out.use_flat_tree = config_.robust.use_flat_tree;
+  out.classify_calls = classify_ns_.size();
+  if (!classify_ns_.empty()) {
+    std::vector<std::uint64_t> sorted = classify_ns_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&sorted](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]) /
+             1000.0;
+    };
+    out.classify_p50_us = at(0.50);
+    out.classify_p99_us = at(0.99);
+  }
   return out;
 }
 

@@ -152,6 +152,16 @@ struct HealthSnapshot {
   int breaker_trips = 0;
   bool breaker_open = false;
 
+  /// Where classify time goes: wall-clock percentiles over every
+  /// supervised classify_session call (µs), and which engine ran them —
+  /// the compiled ml::FlatTree batch kernel or the pointer-tree reference
+  /// (ServeConfig::robust.use_flat_tree). Wall times never influence
+  /// verdicts, so they do not break the bit-identity contract.
+  std::uint64_t classify_calls = 0;
+  double classify_p50_us = 0.0;
+  double classify_p99_us = 0.0;
+  bool use_flat_tree = true;
+
   std::uint64_t terminal_records() const {
     return verdicts_good + verdicts_bad_fs + verdicts_bad_ma + abstained +
            shed + quarantined + expired + cancelled;
@@ -245,6 +255,10 @@ class Server {
   std::unique_ptr<par::Supervisor> classify_super_;
   bool draining_ = false;
   HealthSnapshot stats_;
+  /// Wall-clock nanoseconds of every classify_session call, for the
+  /// HealthSnapshot percentiles (guarded by mutex_; workers write disjoint
+  /// per-call slots that are appended after the supervised run joins).
+  std::vector<std::uint64_t> classify_ns_;
   /// Records produced outside tick (submit-time quarantines); the next
   /// tick() drains them first, keeping record order deterministic.
   std::vector<SessionRecord> pending_records_;

@@ -487,4 +487,61 @@ TEST(ServeServer, DrainFinalizesEverySessionAndClosesAdmission) {
   EXPECT_EQ(server.state(), serve::ServerState::kDraining);
 }
 
+// ---- classify engine: flat kernel vs pointer-tree reference ----------------
+
+/// One fixed client script against a server, returning the stable one-line
+/// forms of every terminal record.
+std::vector<std::string> run_script(serve::Server& server) {
+  std::vector<std::string> lines;
+  std::uint64_t step = 0;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(server.open_session(id, ++step).admission,
+              serve::Admission::kAdmitted);
+    for (std::uint64_t j = 0; j < 3; ++j)
+      server.submit(id, full_batch(1.0 + 0.25 * static_cast<double>(id + j)),
+                    ++step);
+    server.close_session(id, ++step);
+    // Service each session fully before the next opens, so the small test
+    // queue never crosses the shed watermark.
+    for (const serve::SessionRecord& r : server.tick(++step, 8))
+      lines.push_back(r.to_string());
+  }
+  for (const serve::SessionRecord& r : server.drain(step + 1, 8))
+    lines.push_back(r.to_string());
+  return lines;
+}
+
+TEST(ServeServer, FlatAndPointerEnginesProduceIdenticalRecords) {
+  par::ThreadPool pool(2);
+  serve::ServeConfig flat_config = small_config();
+  ASSERT_TRUE(flat_config.robust.use_flat_tree);  // the default engine
+  serve::ServeConfig pointer_config = small_config();
+  pointer_config.robust.use_flat_tree = false;
+
+  serve::Server flat_server(shared_detector(), pool, flat_config);
+  serve::Server pointer_server(shared_detector(), pool, pointer_config);
+  EXPECT_EQ(run_script(flat_server), run_script(pointer_server));
+}
+
+TEST(ServeServer, SnapshotReportsClassifyEngineAndPercentiles) {
+  par::ThreadPool pool(1);
+  serve::Server server(shared_detector(), pool, small_config());
+  run_script(server);
+  const serve::HealthSnapshot health = server.snapshot();
+  EXPECT_TRUE(health.use_flat_tree);
+  EXPECT_GT(health.classify_calls, 0u);
+  EXPECT_GT(health.classify_p50_us, 0.0);
+  EXPECT_GE(health.classify_p99_us, health.classify_p50_us);
+  EXPECT_NE(health.to_string().find("classify=flat"), std::string::npos);
+
+  serve::ServeConfig pointer_config = small_config();
+  pointer_config.robust.use_flat_tree = false;
+  serve::Server pointer_server(shared_detector(), pool, pointer_config);
+  run_script(pointer_server);
+  const serve::HealthSnapshot reference = pointer_server.snapshot();
+  EXPECT_FALSE(reference.use_flat_tree);
+  EXPECT_NE(reference.to_string().find("classify=pointer"),
+            std::string::npos);
+}
+
 }  // namespace
